@@ -1,0 +1,89 @@
+"""Ablation — TLS 1.2 instead of 1.3 (§7 "Limitations").
+
+The paper assumes TLS 1.3's one-round-trip handshake and notes that
+TLS 1.2 clients "will have slower DoH performance overall".  Equations
+7–8 are TLS 1.3-specific — with a 1.2 handshake the proxied derivation
+over-counts by one client↔exit round trip, which is precisely why the
+paper restricts itself to 1.3.  The ablation therefore measures
+*directly* at controlled exit nodes (the §4 ground-truth path): DoH1
+grows by one extra client↔PoP round trip, connection reuse is
+untouched.
+"""
+
+import statistics
+
+from benchmarks.conftest import BENCH_SEED, save_artifact
+from repro.core.config import ReproConfig
+from repro.core.world import build_world
+from repro.doh.client import resolve_direct
+from repro.doh.provider import PROVIDER_CONFIGS
+from repro.core.groundtruth import GroundTruthHarness
+from repro.proxy.population import PopulationConfig
+from repro.tls.handshake import TlsVersion
+
+_REPS = 10
+
+
+def _direct_medians(tls_version: str):
+    config = ReproConfig(
+        seed=BENCH_SEED,
+        population=PopulationConfig(scale=0.004),
+        tls_version=tls_version,
+    )
+    world = build_world(config)
+    harness = GroundTruthHarness(world, repetitions=1)
+    provider = PROVIDER_CONFIGS["cloudflare"]
+    totals = {}
+    reuses = {}
+    for country, node in sorted(harness.nodes.items()):
+        per_node_totals = []
+        per_node_reuses = []
+
+        def one():
+            timing, _answer, session = yield from resolve_direct(
+                node.host, node.stub, provider.domain,
+                harness.client.fresh_name(), tls_version=tls_version,
+            )
+            _m, reuse_ms = yield from session.query(
+                harness.client.fresh_name()
+            )
+            session.close()
+            per_node_totals.append(timing.total_ms)
+            per_node_reuses.append(reuse_ms)
+
+        for _ in range(_REPS):
+            world.run(one())
+        totals[country] = statistics.median(per_node_totals)
+        reuses[country] = statistics.median(per_node_reuses)
+    return totals, reuses
+
+
+def test_ablation_tls12(benchmark):
+    totals13, reuses13 = _direct_medians(TlsVersion.TLS13)
+    totals12, reuses12 = benchmark.pedantic(
+        _direct_medians, args=(TlsVersion.TLS12,), rounds=1, iterations=1,
+    )
+    lines = ["Ablation: TLS 1.2 vs 1.3, direct DoH at controlled nodes"]
+    for country in sorted(totals13):
+        lines.append(
+            "  {}  DoH1 {:>4.0f} -> {:>4.0f} ms   reuse "
+            "{:>4.0f} -> {:>4.0f} ms".format(
+                country, totals13[country], totals12[country],
+                reuses13[country], reuses12[country],
+            )
+        )
+    save_artifact("ablation_tls12", "\n".join(lines))
+
+    extras = [totals12[c] - totals13[c] for c in totals13]
+    benchmark.extra_info["median_extra_ms"] = round(
+        statistics.median(extras), 1
+    )
+    # The 1.2 handshake costs one extra round trip to the PoP at every
+    # node on the first query...
+    assert statistics.median(extras) > 3.0
+    assert all(extra > -10.0 for extra in extras)
+    # ...and reused connections are unaffected.
+    for country in reuses13:
+        assert abs(reuses12[country] - reuses13[country]) < max(
+            25.0, 0.25 * reuses13[country]
+        )

@@ -1,0 +1,47 @@
+"""Infrastructure benchmark — measurement throughput of the simulator.
+
+Not a paper artifact: measures how fast the full measurement pipeline
+(CONNECT tunnel, TLS, DoH exchange, header math) executes, in
+measurements per wall-clock second.  Guards against performance
+regressions that would make full-scale (22k-client) runs impractical.
+"""
+
+import random
+
+from repro.core.client import MeasurementClient
+from repro.core.config import ReproConfig
+from repro.core.world import build_world
+from repro.doh.provider import PROVIDER_CONFIGS
+from repro.proxy.population import PopulationConfig
+
+
+def test_measurement_throughput(benchmark):
+    config = ReproConfig(
+        seed=99, population=PopulationConfig(scale=0.01)
+    )
+    world = build_world(config)
+    client = MeasurementClient(world.client_host, random.Random(1))
+    nodes = [
+        node for node in world.nodes()
+        if node.claimed_country == node.true_country
+        and not node.blocked_hosts
+    ]
+    provider = PROVIDER_CONFIGS["cloudflare"]
+    state = {"index": 0}
+
+    def one_measurement():
+        node = nodes[state["index"] % len(nodes)]
+        state["index"] += 1
+        super_proxy = world.proxy_network.nearest_super_proxy(
+            node.host.location
+        )
+        raw = world.run(
+            client.measure_doh(
+                super_proxy, provider, node.claimed_country,
+                node_id=node.node_id,
+            )
+        )
+        assert raw.success, raw.error
+        return raw
+
+    benchmark.pedantic(one_measurement, rounds=40, iterations=1)

@@ -1,0 +1,64 @@
+"""Figure 4 — resolution-time CDFs per resolver (§5.2).
+
+Paper medians (ms): DoH1 — Cloudflare 338, Google 429, NextDNS 467,
+Quad9 447; DoHR — Cloudflare 257 (tracking Do53 at 250), Quad9 298,
+Google 315.  Shape checks: Cloudflare fastest in both metrics, its
+DoHR tracking Do53; every provider's DoHR left of its DoH1.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.figures import figure4_resolution_cdfs
+from repro.analysis.providers import provider_summaries
+from repro.analysis.report import render_ascii_cdf
+
+PAPER_DOH1 = {"cloudflare": 338, "google": 429, "nextdns": 467, "quad9": 447}
+PAPER_DOHR = {"cloudflare": 257, "google": 315, "quad9": 298}
+
+
+def _median_of(curve):
+    return next(x for x, y in curve if y >= 0.5)
+
+
+def test_figure4(benchmark, bench_dataset):
+    curves = benchmark.pedantic(
+        figure4_resolution_cdfs, args=(bench_dataset,),
+        kwargs={"points": 100}, rounds=1, iterations=1,
+    )
+    summaries = {s.provider: s for s in provider_summaries(bench_dataset)}
+    lines = ["Figure 4: resolution time medians by resolver "
+             "(measured vs paper)"]
+    for provider in sorted(curves):
+        s = summaries[provider]
+        lines.append(
+            "  {:<11} doh1 {:>4.0f} (paper {})   dohr {:>4.0f} (paper {})"
+            "   do53 {:>4.0f} (paper 250)".format(
+                provider, s.median_doh1_ms,
+                PAPER_DOH1.get(provider, "-"), s.median_dohr_ms,
+                PAPER_DOHR.get(provider, "-"), s.median_do53_ms,
+            )
+        )
+    doh1_curves = {p: s["doh1"] for p, s in curves.items()}
+    doh1_curves["do53"] = next(iter(curves.values()))["do53"]
+    lines.append("")
+    lines.append("CDF of first-query resolution time (DoH1 per provider"
+                 " vs Do53):")
+    lines.append(render_ascii_cdf(doh1_curves, x_max=1500.0))
+    save_artifact("figure4_resolution_cdfs", "\n".join(lines))
+
+    for provider, s in summaries.items():
+        benchmark.extra_info[provider + "_doh1"] = round(s.median_doh1_ms)
+        benchmark.extra_info[provider + "_dohr"] = round(s.median_dohr_ms)
+    # Cloudflare wins both metrics; its reuse time tracks Do53.
+    cf = summaries["cloudflare"]
+    for name, s in summaries.items():
+        if name != "cloudflare":
+            assert cf.median_doh1_ms < s.median_doh1_ms
+            assert cf.median_dohr_ms < s.median_dohr_ms
+    assert abs(cf.dohr_vs_do53_ms) < 0.3 * cf.median_do53_ms
+    # Factor agreement with the paper within ±35% per provider.
+    for provider, paper in PAPER_DOH1.items():
+        assert 0.65 * paper <= summaries[provider].median_doh1_ms \
+            <= 1.35 * paper
+    # CDF sanity: DoHR curve lies left of DoH1 at the median.
+    for provider, series in curves.items():
+        assert _median_of(series["dohr"]) < _median_of(series["doh1"])

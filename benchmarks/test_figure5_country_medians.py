@@ -1,0 +1,48 @@
+"""Figure 5 — per-country DoH medians and PoP maps (§5.2/§5.3).
+
+Paper: 146 Cloudflare PoPs observed vs 26 for Google and 107 for
+NextDNS; country medians span from tens of ms (best) to >1s (worst,
+e.g. Chad at 2011ms); Google shows no African PoPs.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.figures import figure5_country_medians
+from repro.geo.countries import COUNTRIES
+from repro.geo.geolocate import GeolocationService
+
+PAPER_POPS = {"cloudflare": 146, "google": 26, "nextdns": 107}
+
+
+def test_figure5(benchmark, bench_dataset):
+    maps = benchmark.pedantic(
+        figure5_country_medians, args=(bench_dataset,),
+        rounds=1, iterations=1,
+    )
+    lines = ["Figure 5: observed PoPs and per-country DoH medians"]
+    for provider_map in maps:
+        values = sorted(provider_map.medians_ms.values())
+        lines.append(
+            "  {:<11} pops {:>3} (paper {})   country medians "
+            "min {:>4.0f}  median {:>4.0f}  max {:>5.0f}".format(
+                provider_map.provider,
+                provider_map.pop_count,
+                PAPER_POPS.get(provider_map.provider, "-"),
+                values[0],
+                values[len(values) // 2],
+                values[-1],
+            )
+        )
+    save_artifact("figure5_country_medians", "\n".join(lines))
+
+    by_provider = {m.provider: m for m in maps}
+    for provider, m in by_provider.items():
+        benchmark.extra_info[provider + "_pops"] = m.pop_count
+    # Observed PoP ordering and rough counts match the paper.
+    assert by_provider["google"].pop_count <= 26
+    assert by_provider["cloudflare"].pop_count > \
+        by_provider["nextdns"].pop_count > by_provider["google"].pop_count
+    assert by_provider["cloudflare"].pop_count >= 0.85 * 146
+    # The worst countries are several times slower than the best.
+    for provider_map in maps:
+        values = sorted(provider_map.medians_ms.values())
+        assert values[-1] > 3.0 * values[0]

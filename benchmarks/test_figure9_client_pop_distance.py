@@ -1,0 +1,37 @@
+"""Figure 9 — per-client distance to the servicing PoP (Appendix B).
+
+Paper: Google's sparse footprint forces long client→PoP distances;
+Quad9 under-performs in South America despite many PoPs; Cloudflare
+and NextDNS keep clients close.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.figures import figure9_client_pop_distance
+from repro.stats.descriptive import median, percentile
+
+
+def test_figure9(benchmark, bench_dataset):
+    distances = benchmark.pedantic(
+        figure9_client_pop_distance, args=(bench_dataset,),
+        rounds=1, iterations=1,
+    )
+    lines = ["Figure 9: per-client miles to the servicing PoP"]
+    medians = {}
+    for provider, rows in sorted(distances.items()):
+        miles = [m for _, m in rows]
+        medians[provider] = median(miles)
+        lines.append(
+            "  {:<11} median {:>5.0f}  p90 {:>5.0f}  clients {}".format(
+                provider, medians[provider],
+                percentile(miles, 90), len(miles),
+            )
+        )
+    save_artifact("figure9_client_pop_distance", "\n".join(lines))
+
+    for provider, value in medians.items():
+        benchmark.extra_info[provider] = round(value)
+    # Google's clients sit farthest from their PoP (26 hubs worldwide).
+    assert medians["google"] == max(medians.values())
+    assert medians["google"] > 2.0 * medians["nextdns"]
+    # Quad9's poor routing puts clients farther out than Cloudflare's.
+    assert medians["quad9"] > medians["cloudflare"]

@@ -1,0 +1,75 @@
+"""§5/§1 headline statistics.
+
+Paper: global medians DoH1 415ms vs Do53 234ms; 19.1% of clients speed
+up on the very first DoH query; 28% speed up over a 10-query
+connection with a median slowdown of 65ms/query; 10% of clients see
+resolution times triple; median multipliers 1.84/1.24/1.18/1.17 for
+1/10/100/1000 queries; country-level medians 564.7 vs 332.9ms.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.geography import country_medians
+from repro.analysis.slowdown import (
+    client_provider_stats,
+    headline_stats,
+    speedup_population_profile,
+)
+
+
+def test_section5_headlines(benchmark, bench_dataset):
+    h = benchmark.pedantic(
+        headline_stats, args=(bench_dataset,), rounds=1, iterations=1,
+    )
+    c_doh, c_do53 = country_medians(bench_dataset)
+    lines = [
+        "Section 5 headline statistics (measured vs paper)",
+        "  median DoH1   {:>4.0f}ms (415)".format(h.median_doh1_ms),
+        "  median Do53   {:>4.0f}ms (234)".format(h.median_do53_ms),
+        "  median DoHR   {:>4.0f}ms".format(h.median_dohr_ms),
+        "  delta @DoH10  {:>4.0f}ms (65)".format(h.median_delta10_ms),
+        "  speedup @DoH1  {:.1%} (19.1%)".format(h.share_speedup_doh1),
+        "  speedup @DoH10 {:.1%} (28%)".format(h.share_speedup_doh10),
+        "  tripled @DoH1  {:.1%} (10%)".format(h.share_tripled_doh1),
+        "  multipliers    {} (1.84/1.24/1.18/1.17)".format(
+            "/".join(
+                "{:.2f}".format(h.median_multipliers[n])
+                for n in (1, 10, 100, 1000)
+            )
+        ),
+        "  country medians {:.0f} vs {:.0f}ms (564.7 vs 332.9)".format(
+            c_doh, c_do53
+        ),
+    ]
+    profile = speedup_population_profile(
+        client_provider_stats(bench_dataset), n=10
+    )
+    lines.append(
+        "  of DoH-speedup clients: {:.0%} in fast-internet countries "
+        "(84%), {:.0%} in high-AS countries (93%)".format(
+            profile["share_fast_internet"], profile["share_high_ases"]
+        )
+    )
+    save_artifact("section5_headlines", "\n".join(lines))
+
+    benchmark.extra_info["doh1"] = round(h.median_doh1_ms)
+    benchmark.extra_info["do53"] = round(h.median_do53_ms)
+    benchmark.extra_info["mult1"] = round(h.median_multipliers[1], 2)
+
+    # Factor agreement with the paper.
+    assert 0.7 * 415 <= h.median_doh1_ms <= 1.3 * 415
+    assert 0.7 * 234 <= h.median_do53_ms <= 1.3 * 234
+    assert 1.5 <= h.median_multipliers[1] <= 2.4          # paper 1.84
+    assert 1.0 <= h.median_multipliers[10] <= 1.6         # paper 1.24
+    assert h.median_multipliers[10] > h.median_multipliers[100]
+    assert 0 < h.median_delta10_ms <= 130                 # paper 65
+    assert 0.08 <= h.share_speedup_doh1 <= 0.30           # paper 0.191
+    assert 0.15 <= h.share_speedup_doh10 <= 0.45          # paper 0.28
+    assert 0.04 <= h.share_tripled_doh1 <= 0.25           # paper 0.10
+    # Country-level medians sit well above client-level ones.
+    assert c_doh > 1.25 * c_do53                          # paper 1.70x
+    # The speedup population concentrates in well-connected countries
+    # (lift over the base population > 1; paper's winners are 84%/93%
+    # from fast/high-AS countries).
+    assert profile["share_fast_internet"] > 0.5           # paper 0.84
+    assert profile["lift_fast_internet"] > 0.95
+    assert profile["lift_high_ases"] > 0.95

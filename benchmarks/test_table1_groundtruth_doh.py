@@ -1,0 +1,41 @@
+"""Table 1 — ground-truth validation of DoH and DoHR (§4.1).
+
+Paper: method-vs-truth differences within 8ms (DoH) / 10ms (DoHR) at
+six controlled EC2 exit nodes.
+"""
+
+import statistics
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.report import render_groundtruth
+from repro.analysis.tables import table1_groundtruth_doh
+
+PAPER_ROWS = {
+    # country: (DoH, DoHR) medians from Table 1 ("Our Method" row).
+    "IE": (116, 94), "BR": (193, 182), "SE": (129, 122),
+    "IT": (246, 236), "IN": (254, 251), "US": (53, 25),
+}
+
+
+def test_table1(benchmark, bench_gt_harness):
+    rows = benchmark.pedantic(
+        table1_groundtruth_doh, args=(bench_gt_harness,),
+        kwargs={"provider": "cloudflare"}, rounds=1, iterations=1,
+    )
+    text = render_groundtruth(
+        rows,
+        "Table 1: ground-truth DoH/DoHR validation "
+        "(paper: all differences <= 10ms)",
+    )
+    save_artifact("table1_groundtruth_doh", text)
+
+    differences = [row.difference_ms for row in rows]
+    benchmark.extra_info["median_difference_ms"] = statistics.median(
+        differences
+    )
+    benchmark.extra_info["max_difference_ms"] = max(differences)
+    # The reproduction claim: the derivation works — the estimate
+    # matches direct measurement closely at every node.
+    assert statistics.median(differences) <= 10.0
+    assert max(differences) <= 30.0
+    assert {row.country for row in rows} == set(PAPER_ROWS)

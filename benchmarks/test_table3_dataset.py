@@ -1,0 +1,37 @@
+"""Table 3 — dataset composition (§5.1).
+
+Paper: at least 21,858 unique clients spanning at least 222 countries
+for every DoH resolver; 22,052 clients / 224 countries for Do53.  At
+reduced benchmark scale, the *relationships* must hold: every provider
+covers almost every country the fleet covers, and per-provider client
+counts stay within a fraction of a percent of each other.
+"""
+
+from benchmarks.conftest import bench_scale, save_artifact
+from repro.analysis.report import render_table3
+from repro.analysis.tables import table3_dataset_composition
+
+
+def test_table3(benchmark, bench_dataset):
+    rows = benchmark.pedantic(
+        table3_dataset_composition, args=(bench_dataset,),
+        rounds=1, iterations=1,
+    )
+    text = render_table3(rows) + (
+        "\n(paper, full scale: 21,858-22,052 clients / 222-224 countries;"
+        "\n this run: scale={})".format(bench_scale())
+    )
+    save_artifact("table3_dataset_composition", text)
+
+    by_name = {row.resolver: row for row in rows}
+    total = by_name["do53 (default)"]
+    benchmark.extra_info["clients"] = total.clients
+    benchmark.extra_info["countries"] = total.countries
+    for name, row in by_name.items():
+        if name == "do53 (default)":
+            continue
+        # Every provider reaches ~99% of the clients (paper: 99.1%+).
+        assert row.clients >= 0.93 * total.clients, name
+        # Censored countries (China &co.) are missing from providers.
+        assert row.countries < total.countries
+        assert row.countries >= total.countries - 12

@@ -1,0 +1,49 @@
+"""Table 5 — linear model of the raw Do53→DoH delta (§6.2.2).
+
+Paper's scaled coefficients for Delta (depth 1): GDP −13.8 (n.s.),
+bandwidth −134.5, ASes −80.8, nameserver distance +30.0, resolver
+distance +93.4.  Required shape: infrastructure (bandwidth/ASes)
+reduces the slowdown, resolver distance increases it and is the
+dominant distance term; coefficients shrink with connection reuse.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.report import render_table5
+from repro.analysis.tables import table5_linear
+
+
+def test_table5(benchmark, bench_dataset):
+    rows, models = benchmark.pedantic(
+        table5_linear, args=(bench_dataset,), rounds=1, iterations=1,
+    )
+    text = render_table5(
+        rows,
+        "Table 5: linear modelling of DNS performance "
+        "(paper scaled coefs, Delta: bw -134.5, ASes -80.8, "
+        "NS dist +30.0, resolver dist +93.4)",
+    )
+    save_artifact("table5_linear", text)
+
+    d1 = models[1]
+    d100 = models[100]
+    benchmark.extra_info["bandwidth_scaled"] = round(
+        d1.scaled_coefficient("bandwidth"), 1
+    )
+    benchmark.extra_info["resolver_dist_scaled"] = round(
+        d1.scaled_coefficient("resolver_dist"), 1
+    )
+    # Direction: investment reduces the delta; distances increase it.
+    assert d1.coefficient("bandwidth") < 0.0
+    assert d1.coefficient("resolver_dist") > 0.0
+    assert d1.p_value("resolver_dist") < 0.001
+    assert d1.coefficient("nameserver_dist") > 0.0 or (
+        d1.p_value("nameserver_dist") > 0.001
+    )
+    # Resolver distance dominates nameserver distance (paper: 93 vs 30).
+    assert d1.scaled_coefficient("resolver_dist") > abs(
+        d1.scaled_coefficient("nameserver_dist")
+    )
+    # Connection reuse damps the coefficients (Table 5's three blocks).
+    assert abs(d100.scaled_coefficient("resolver_dist")) < abs(
+        d1.scaled_coefficient("resolver_dist")
+    )

@@ -1,0 +1,32 @@
+"""Table 6 — per-resolver linear models (Appendix C).
+
+Paper: resolver distance carries a large positive scaled coefficient
+for every provider (Cloudflare +155.7, Google +140.0, NextDNS +112.0,
+Quad9 +56.0), and bandwidth a large negative one.  Required shape:
+those signs hold per provider.
+"""
+
+from benchmarks.conftest import save_artifact
+from repro.analysis.report import render_table5
+from repro.analysis.tables import table6_linear_by_resolver
+
+
+def test_table6(benchmark, bench_dataset):
+    rows, models = benchmark.pedantic(
+        table6_linear_by_resolver, args=(bench_dataset,),
+        rounds=1, iterations=1,
+    )
+    text = render_table5(
+        rows,
+        "Table 6: linear modelling per resolver "
+        "(paper: resolver-distance scaled coef positive for all four)",
+    )
+    save_artifact("table6_linear_by_resolver", text)
+
+    for provider, model in models.items():
+        benchmark.extra_info[
+            "{}_resolver_dist".format(provider)
+        ] = round(model.scaled_coefficient("resolver_dist"), 1)
+        assert model.coefficient("resolver_dist") > 0.0, provider
+        assert model.coefficient("bandwidth") < 0.0, provider
+    assert set(models) == {"cloudflare", "google", "nextdns", "quad9"}

@@ -1,0 +1,54 @@
+"""Analysis: reproduces every table and figure of the paper.
+
+* :mod:`repro.analysis.slowdown` — per-client DoH/Do53 aggregation,
+  DoH-N, multipliers, headline statistics (§5, §6.2.1 outcome),
+* :mod:`repro.analysis.providers` — provider comparison, Figure 4 CDFs,
+  observed PoP counts (§5.2),
+* :mod:`repro.analysis.geography` — per-country medians and deltas,
+  Figure 5 and Figure 7 (§5.3),
+* :mod:`repro.analysis.pops` — PoP distances and potential improvement,
+  Figures 6 and 9,
+* :mod:`repro.analysis.explain` — the Section 6 regressions (Tables
+  4–6),
+* :mod:`repro.analysis.figures` / :mod:`repro.analysis.tables` — one
+  generator per paper artifact,
+* :mod:`repro.analysis.report` — plain-text rendering.
+"""
+
+from repro.analysis.slowdown import (
+    ClientProviderStat,
+    HeadlineStats,
+    client_provider_stats,
+    headline_stats,
+)
+from repro.analysis.providers import ProviderSummary, provider_summaries
+from repro.analysis.geography import (
+    CountryDelta,
+    country_deltas,
+    country_medians,
+)
+from repro.analysis.pops import PopDistanceStats, pop_distance_stats
+from repro.analysis.explain import (
+    LinearDeltaResult,
+    LogisticSlowdownResult,
+    linear_delta_model,
+    logistic_slowdown_model,
+)
+
+__all__ = [
+    "ClientProviderStat",
+    "CountryDelta",
+    "HeadlineStats",
+    "LinearDeltaResult",
+    "LogisticSlowdownResult",
+    "PopDistanceStats",
+    "ProviderSummary",
+    "client_provider_stats",
+    "country_deltas",
+    "country_medians",
+    "headline_stats",
+    "linear_delta_model",
+    "logistic_slowdown_model",
+    "pop_distance_stats",
+    "provider_summaries",
+]

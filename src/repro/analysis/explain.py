@@ -1,0 +1,218 @@
+"""Section 6: explaining DoH performance differences.
+
+Two models over (client, provider) observations:
+
+* **Logistic** (§6.2.1, Table 4): is a client's Do53→DoH-N multiplier
+  worse than the global median?  Categorical inputs — nationwide
+  bandwidth (FCC fast cutoff, >25 Mbps), World Bank income group,
+  AS count above/below the global median, and the resolver — each with
+  the paper's control level.  Reported as odds ratios of experiencing
+  a slowdown.
+* **Linear** (§6.2.2, Tables 5–6): the raw delta in ms against GDP per
+  capita, bandwidth, AS count, distance to our authoritative name
+  server and distance to the serving DoH PoP; reported raw and min-max
+  scaled.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.slowdown import (
+    ClientProviderStat,
+    client_provider_stats,
+    global_median_multipliers,
+)
+from repro.dataset.store import Dataset
+from repro.geo.coords import KM_PER_MILE, LatLon, geodesic_km
+from repro.geo.countries import COUNTRIES, IncomeGroup
+from repro.stats.design import CategoricalSpec, DesignMatrix
+from repro.stats.linear import LinearModel, fit_ols
+from repro.stats.logistic import LogisticModel, fit_logistic
+
+__all__ = [
+    "LinearDeltaResult",
+    "LogisticSlowdownResult",
+    "as_count_median",
+    "linear_delta_model",
+    "logistic_slowdown_model",
+]
+
+#: Where the paper's authoritative name server sits (Figure 1: USA).
+DEFAULT_NAMESERVER_LOCATION = LatLon(39.0, -77.5)
+
+_INCOME_LEVELS = (
+    IncomeGroup.HIGH,
+    IncomeGroup.UPPER_MIDDLE,
+    IncomeGroup.LOWER_MIDDLE,
+    IncomeGroup.LOW,
+)
+
+
+def as_count_median() -> float:
+    """Global median AS count per country (the paper reports 25)."""
+    return statistics.median(
+        country.num_ases for country in COUNTRIES.values()
+    )
+
+
+def _covariates(stat: ClientProviderStat) -> Optional[Dict[str, str]]:
+    country = COUNTRIES.get(stat.country)
+    if country is None:
+        return None
+    return {
+        "bandwidth": "fast" if country.fast_internet else "slow",
+        "income": country.income_group,
+        "ases": "high" if country.num_ases > as_count_median() else "low",
+        "resolver": stat.provider,
+    }
+
+
+@dataclass(frozen=True)
+class LogisticSlowdownResult:
+    """Table 4 for one reuse depth."""
+
+    n: int
+    median_multiplier: float
+    model: LogisticModel
+    observations: int
+
+    def odds_of_slowdown(self, variable: str, level: str) -> float:
+        """Odds ratio of a worse-than-median slowdown vs the control."""
+        return self.model.odds_ratio("{}:{}".format(variable, level))
+
+    def p_value(self, variable: str, level: str) -> float:
+        """Wald p-value for the level's slowdown odds."""
+        return self.model.p_value("{}:{}".format(variable, level))
+
+
+def logistic_slowdown_model(
+    dataset: Dataset,
+    n: int = 1,
+    stats: Optional[Sequence[ClientProviderStat]] = None,
+    providers: Optional[Sequence[str]] = None,
+) -> LogisticSlowdownResult:
+    """Fit the §6.2.1 logistic model for reuse depth *n*."""
+    if stats is None:
+        stats = client_provider_stats(dataset)
+    if providers is None:
+        providers = sorted({s.provider for s in stats})
+    median_multiplier = global_median_multipliers(stats, depths=(n,))[n]
+
+    design = DesignMatrix(
+        categoricals=[
+            CategoricalSpec("bandwidth", control="fast",
+                            levels=("fast", "slow")),
+            CategoricalSpec("income", control=IncomeGroup.HIGH,
+                            levels=_INCOME_LEVELS),
+            CategoricalSpec("ases", control="high", levels=("high", "low")),
+            CategoricalSpec("resolver", control="cloudflare",
+                            levels=tuple(providers)),
+        ],
+    )
+    for stat in stats:
+        covariates = _covariates(stat)
+        if covariates is None:
+            continue
+        slowdown = 1.0 if stat.multiplier(n) > median_multiplier else 0.0
+        design.add_row(covariates, {}, slowdown)
+    X, y = design.matrices()
+    model = fit_logistic(X, y, design.column_names)
+    return LogisticSlowdownResult(
+        n=n,
+        median_multiplier=median_multiplier,
+        model=model,
+        observations=len(design),
+    )
+
+
+@dataclass(frozen=True)
+class LinearDeltaResult:
+    """Table 5/6 for one reuse depth (and optional provider filter)."""
+
+    n: int
+    provider: Optional[str]
+    model: LinearModel
+    observations: int
+
+    _METRICS = {
+        "gdp": "gdp",
+        "bandwidth": "bandwidth",
+        "num_ases": "num_ases",
+        "nameserver_dist": "nameserver_dist",
+        "resolver_dist": "resolver_dist",
+    }
+
+    def coefficient(self, metric: str) -> float:
+        """Raw OLS coefficient for *metric* (ms per unit)."""
+        return self.model.coefficient(self._METRICS[metric])
+
+    def scaled_coefficient(self, metric: str) -> float:
+        """Min-max scaled coefficient (ms over the metric's range)."""
+        return self.model.scaled_coefficient(self._METRICS[metric])
+
+    def p_value(self, metric: str) -> float:
+        """Two-sided t-test p-value for *metric*."""
+        return self.model.p_value(self._METRICS[metric])
+
+
+def linear_delta_model(
+    dataset: Dataset,
+    n: int = 1,
+    provider: Optional[str] = None,
+    stats: Optional[Sequence[ClientProviderStat]] = None,
+    nameserver_location: LatLon = DEFAULT_NAMESERVER_LOCATION,
+) -> LinearDeltaResult:
+    """Fit the §6.2.2 linear model of the raw Do53→DoH-N delta."""
+    if stats is None:
+        stats = client_provider_stats(dataset)
+    client_location = {
+        client.node_id: LatLon(client.lat, client.lon)
+        for client in dataset.clients
+    }
+    design = DesignMatrix(
+        continuous=(
+            "gdp",
+            "bandwidth",
+            "num_ases",
+            "nameserver_dist",
+            "resolver_dist",
+        ),
+    )
+    for stat in stats:
+        if provider is not None and stat.provider != provider:
+            continue
+        country = COUNTRIES.get(stat.country)
+        location = client_location.get(stat.node_id)
+        if country is None or location is None:
+            continue
+        if stat.pop_lat is None or stat.pop_lon is None:
+            continue
+        nameserver_miles = (
+            geodesic_km(location, nameserver_location) / KM_PER_MILE
+        )
+        resolver_miles = (
+            geodesic_km(location, LatLon(stat.pop_lat, stat.pop_lon))
+            / KM_PER_MILE
+        )
+        design.add_row(
+            {},
+            {
+                "gdp": country.gdp_per_capita,
+                "bandwidth": country.bandwidth_mbps,
+                "num_ases": country.num_ases,
+                "nameserver_dist": nameserver_miles,
+                "resolver_dist": resolver_miles,
+            },
+            stat.delta(n),
+        )
+    X, y = design.matrices()
+    model = fit_ols(X, y, design.column_names)
+    return LinearDeltaResult(
+        n=n,
+        provider=provider,
+        model=model,
+        observations=len(design),
+    )

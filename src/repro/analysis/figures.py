@@ -1,0 +1,141 @@
+"""One generator per paper figure.
+
+Each function returns plain data structures (lists, dicts, tuples) that
+a plotting script could draw directly; the benchmark harness prints the
+series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.geography import (
+    country_deltas,
+    country_do53_medians,
+    country_doh_medians,
+)
+from repro.analysis.pops import client_pop_distances, potential_improvements
+from repro.analysis.providers import observed_pops, resolution_time_cdfs
+from repro.dataset.store import Dataset
+from repro.stats.descriptive import empirical_cdf, median
+
+__all__ = [
+    "figure3_clients_per_country",
+    "figure4_resolution_cdfs",
+    "figure5_country_medians",
+    "figure6_potential_improvement",
+    "figure7_delta_by_resolver",
+    "figure8_client_map",
+    "figure9_client_pop_distance",
+]
+
+
+@dataclass(frozen=True)
+class ClientsPerCountry:
+    """Figure 3 data."""
+
+    counts: Dict[str, int]
+    median_clients: float
+    share_with_200_plus: float
+    minimum: int
+    maximum: int
+
+
+def figure3_clients_per_country(dataset: Dataset) -> ClientsPerCountry:
+    """Figure 3: distribution of analysed clients per country.
+
+    The paper reports a median of 103 unique clients per country with
+    at least 200 clients in 17% of countries.
+    """
+    analyzed = set(dataset.analyzed_countries())
+    counts = {
+        country: count
+        for country, count in dataset.clients_per_country().items()
+        if country in analyzed
+    }
+    if not counts:
+        raise ValueError("no analysed countries in dataset")
+    values = sorted(counts.values())
+    return ClientsPerCountry(
+        counts=counts,
+        median_clients=median([float(v) for v in values]),
+        share_with_200_plus=sum(1 for v in values if v >= 200) / len(values),
+        minimum=values[0],
+        maximum=values[-1],
+    )
+
+
+def figure4_resolution_cdfs(
+    dataset: Dataset, points: int = 200
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Figure 4: DoH1/DoHR/Do53 CDFs per provider."""
+    return resolution_time_cdfs(dataset, points)
+
+
+@dataclass(frozen=True)
+class CountryMedianMap:
+    """Figure 5 data for one provider."""
+
+    provider: str
+    medians_ms: Dict[str, float]
+    pop_sites: List[Tuple[float, float]]
+
+    @property
+    def pop_count(self) -> int:
+        return len(self.pop_sites)
+
+
+def figure5_country_medians(dataset: Dataset) -> List[CountryMedianMap]:
+    """Figure 5: per-country median DoH time + PoP sites, per provider."""
+    maps: List[CountryMedianMap] = []
+    for provider in dataset.providers():
+        maps.append(
+            CountryMedianMap(
+                provider=provider,
+                medians_ms=country_doh_medians(dataset, provider),
+                pop_sites=sorted(observed_pops(dataset, provider)),
+            )
+        )
+    return maps
+
+
+def figure6_potential_improvement(
+    dataset: Dataset, points: int = 200
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 6: CDF of potential PoP improvement (miles) per provider."""
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for provider in dataset.providers():
+        miles = [m for _, m in potential_improvements(dataset, provider)]
+        if miles:
+            curves[provider] = empirical_cdf(miles, points)
+    return curves
+
+
+def figure7_delta_by_resolver(
+    dataset: Dataset, n: int = 10
+) -> Dict[str, List[float]]:
+    """Figure 7: per-country Do53→DoH-N delta distribution per provider."""
+    deltas = country_deltas(dataset, n=n)
+    grouped: Dict[str, List[float]] = {}
+    for delta in deltas:
+        grouped.setdefault(delta.provider, []).append(delta.delta_ms)
+    return {provider: sorted(values) for provider, values in grouped.items()}
+
+
+def figure8_client_map(dataset: Dataset) -> List[Tuple[float, float, str]]:
+    """Figure 8: every client's (lat, lon, country)."""
+    return [
+        (client.lat, client.lon, client.country)
+        for client in dataset.clients
+    ]
+
+
+def figure9_client_pop_distance(
+    dataset: Dataset,
+) -> Dict[str, List[Tuple[str, float]]]:
+    """Figure 9: per-client miles to the servicing PoP, per provider."""
+    return {
+        provider: client_pop_distances(dataset, provider)
+        for provider in dataset.providers()
+    }

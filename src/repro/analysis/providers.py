@@ -1,0 +1,88 @@
+"""Provider comparison (§5.2, Figure 4).
+
+Summarises each provider's resolution-time distributions (DoH1, DoHR)
+against the Do53 baseline, and counts *observed* PoPs — unique
+recursive-resolver prefixes seen at the authoritative server, which is
+exactly how the paper enumerated provider infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dataset.store import Dataset
+from repro.stats.descriptive import empirical_cdf, median
+
+__all__ = ["ProviderSummary", "observed_pops", "provider_summaries",
+           "resolution_time_cdfs"]
+
+
+@dataclass(frozen=True)
+class ProviderSummary:
+    """One provider's §5.2 numbers."""
+
+    provider: str
+    median_doh1_ms: float
+    median_dohr_ms: float
+    median_do53_ms: float
+    observed_pops: int
+    samples: int
+
+    @property
+    def dohr_vs_do53_ms(self) -> float:
+        """How much a reused-connection query trails Do53 (can be <0)."""
+        return self.median_dohr_ms - self.median_do53_ms
+
+
+def observed_pops(dataset: Dataset, provider: str) -> Set[Tuple[float, float]]:
+    """Distinct PoP sites observed for *provider* (geolocated /24s)."""
+    sites: Set[Tuple[float, float]] = set()
+    for sample in dataset.successful_doh(provider):
+        if sample.pop_lat is not None and sample.pop_lon is not None:
+            sites.add((sample.pop_lat, sample.pop_lon))
+    return sites
+
+
+def provider_summaries(dataset: Dataset) -> List[ProviderSummary]:
+    """Per-provider medians and observed PoP counts."""
+    do53 = [s.time_ms for s in dataset.valid_do53()]
+    do53_median = median(do53) if do53 else float("nan")
+    summaries: List[ProviderSummary] = []
+    for provider in dataset.providers():
+        samples = dataset.successful_doh(provider)
+        if not samples:
+            continue
+        summaries.append(
+            ProviderSummary(
+                provider=provider,
+                median_doh1_ms=median([s.t_doh_ms for s in samples]),
+                median_dohr_ms=median([s.t_dohr_ms for s in samples]),
+                median_do53_ms=do53_median,
+                observed_pops=len(observed_pops(dataset, provider)),
+                samples=len(samples),
+            )
+        )
+    return summaries
+
+
+def resolution_time_cdfs(
+    dataset: Dataset, points: int = 200
+) -> Dict[str, Dict[str, List[Tuple[float, float]]]]:
+    """Figure 4: per-provider CDFs of DoH1 and DoHR, plus Do53.
+
+    Returns ``{provider: {"doh1": [...], "dohr": [...], "do53": [...]}}``
+    where each series is a list of (ms, cumulative fraction) pairs.
+    """
+    do53_series = empirical_cdf(
+        [s.time_ms for s in dataset.valid_do53()], points
+    )
+    figures: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for provider in dataset.providers():
+        samples = dataset.successful_doh(provider)
+        figures[provider] = {
+            "doh1": empirical_cdf([s.t_doh_ms for s in samples], points),
+            "dohr": empirical_cdf([s.t_dohr_ms for s in samples], points),
+            "do53": do53_series,
+        }
+    return figures

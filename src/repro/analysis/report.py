@@ -1,0 +1,187 @@
+"""Plain-text rendering of tables and figure summaries.
+
+The benchmark harness prints these so a run's output can be compared
+line-by-line against the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.figures import ClientsPerCountry
+from repro.analysis.tables import (
+    CompositionRow,
+    Table4Row,
+    Table5Row,
+)
+from repro.core.groundtruth import GroundTruthRow
+
+__all__ = [
+    "format_table",
+    "render_figure3",
+    "render_groundtruth",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an ASCII table with left-aligned, width-fitted columns."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError("row width mismatch")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialised)
+    return "\n".join(out)
+
+
+def _significance(p: float) -> str:
+    return "" if p < 0.001 else "*"
+
+
+def render_groundtruth(rows: Sequence[GroundTruthRow], title: str) -> str:
+    """Tables 1–2: method vs ground truth per country."""
+    body = [
+        (
+            row.country,
+            row.metric,
+            "{:.0f}".format(row.method_ms),
+            "{:.0f}".format(row.truth_ms),
+            "{:.1f}".format(row.difference_ms),
+        )
+        for row in rows
+    ]
+    return "{}\n{}".format(
+        title,
+        format_table(
+            ("country", "metric", "our method", "ground truth", "diff"),
+            body,
+        ),
+    )
+
+
+def render_table3(rows: Sequence[CompositionRow]) -> str:
+    """Render Table 3 (dataset composition) as text."""
+    return "Table 3: dataset composition\n" + format_table(
+        ("resolver", "clients", "countries"),
+        [(r.resolver, r.clients, r.countries) for r in rows],
+    )
+
+
+def render_table4(rows: Sequence[Table4Row],
+                  depths: Sequence[int] = (1, 10, 100, 1000)) -> str:
+    """Render Table 4 (logistic odds ratios) as text."""
+    headers = ["variable", "level"] + [
+        "OR" if n == 1 else "OR_{}".format(n) for n in depths
+    ]
+    body = []
+    for row in rows:
+        cells: List[str] = [row.variable, row.level]
+        for n in depths:
+            odds = row.odds_ratios.get(n)
+            if odds is None:
+                cells.append("-")
+            else:
+                cells.append(
+                    "{:.2f}x{}".format(odds, _significance(
+                        row.p_values.get(n, 1.0)))
+                )
+        body.append(cells)
+    return (
+        "Table 4: logistic model of DoH vs Do53 slowdowns "
+        "(* = not significant at p<0.001)\n" + format_table(headers, body)
+    )
+
+
+def render_table5(rows: Sequence[Table5Row], title: str) -> str:
+    """Render a Table 5/6-style coefficient block."""
+    body = [
+        (
+            row.output,
+            row.metric,
+            "{:.4g}{}".format(row.coef, _significance(row.p_value)),
+            "{:.1f}{}".format(row.scaled_coef, _significance(row.p_value)),
+        )
+        for row in rows
+    ]
+    return "{}\n{}".format(
+        title,
+        format_table(("output", "metric", "coef (ms)", "scaled coef (ms)"),
+                     body),
+    )
+
+
+def render_ascii_cdf(
+    curves: Dict[str, Sequence[tuple]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "ms",
+    x_max: Optional[float] = None,
+) -> str:
+    """Render empirical CDF curves as an ASCII plot.
+
+    *curves* maps a label to an ``[(x, F(x)), ...]`` series (the output
+    of :func:`repro.stats.descriptive.empirical_cdf`).  Each curve gets
+    a distinct marker; the y-axis spans 0..1.
+    """
+    markers = "coxs*+%@"
+    live = {label: series for label, series in curves.items() if series}
+    if not live:
+        return "(no data)"
+    if x_max is None:
+        x_max = max(series[-1][0] for series in live.values())
+    if x_max <= 0:
+        x_max = 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float):
+        column = min(width - 1, int((x / x_max) * (width - 1)))
+        row = min(height - 1, int((1.0 - y) * (height - 1)))
+        return row, column
+
+    legend = []
+    for index, (label, series) in enumerate(sorted(live.items())):
+        marker = markers[index % len(markers)]
+        legend.append("{} = {}".format(marker, label))
+        for x, y in series:
+            if x > x_max:
+                break
+            row, column = cell(x, y)
+            grid[row][column] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append("{:>4.2f} |{}".format(fraction, "".join(row)))
+    lines.append("     +" + "-" * width)
+    lines.append("      0{}{:.0f} {}".format(
+        " " * (width - len("{:.0f}".format(x_max)) - 2), x_max, x_label
+    ))
+    lines.append("      " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def render_figure3(data: ClientsPerCountry) -> str:
+    """One-line summary of Figure 3's distribution."""
+    return (
+        "Figure 3: clients per analysed country — median {:.0f}, "
+        ">=200 clients in {:.0%} of countries, range [{}, {}]".format(
+            data.median_clients,
+            data.share_with_200_plus,
+            data.minimum,
+            data.maximum,
+        )
+    )

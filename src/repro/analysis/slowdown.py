@@ -1,0 +1,200 @@
+"""Per-client DoH/Do53 aggregation and the paper's headline numbers.
+
+A *client-provider stat* merges a client's runs against one provider
+(median t_DoH, median t_DoHR) with the client's own Do53 median, and
+derives the paper's composite metrics:
+
+* ``DoH-N`` — average per-query time when N queries share one TLS
+  session (§5 "Terminology"),
+* the Do53→DoH-N *multiplier* (§6.2.1) and raw *delta* (§6.2.2).
+
+Clients in the 11 super-proxy countries have no valid per-client Do53
+and are excluded from these comparisons, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.doh_timing import doh_n
+from repro.dataset.store import Dataset
+from repro.stats.descriptive import median
+
+__all__ = [
+    "ClientProviderStat",
+    "HeadlineStats",
+    "client_provider_stats",
+    "headline_stats",
+    "global_median_multipliers",
+    "speedup_population_profile",
+]
+
+#: Connection-reuse depths the paper analyses.
+REUSE_DEPTHS = (1, 10, 100, 1000)
+
+
+@dataclass(frozen=True)
+class ClientProviderStat:
+    """One (client, provider) pair's aggregated measurements."""
+
+    node_id: str
+    country: str
+    provider: str
+    doh1_ms: float   # median t_DoH over runs
+    dohr_ms: float   # median t_DoHR over runs
+    do53_ms: float   # median Do53 over runs (client's default resolver)
+    #: Geolocation of the PoP that served this client (if observed).
+    pop_lat: Optional[float] = None
+    pop_lon: Optional[float] = None
+
+    def doh_n_ms(self, n: int) -> float:
+        """Average per-query DoH time over *n* queries (DoH-N)."""
+        return doh_n(self.doh1_ms, self.dohr_ms, n)
+
+    def multiplier(self, n: int) -> float:
+        """DoH-N over Do53 (the §6.2.1 outcome)."""
+        if self.do53_ms <= 0:
+            raise ValueError("non-positive Do53 baseline")
+        return self.doh_n_ms(n) / self.do53_ms
+
+    def delta(self, n: int) -> float:
+        """DoH-N minus Do53, ms (the §6.2.2 outcome)."""
+        return self.doh_n_ms(n) - self.do53_ms
+
+    @property
+    def speedup_doh1(self) -> bool:
+        """Did this client get faster on the very first DoH query?"""
+        return self.doh1_ms < self.do53_ms
+
+
+def client_provider_stats(dataset: Dataset) -> List[ClientProviderStat]:
+    """Aggregate the dataset into client-provider stats.
+
+    Only clients with at least one valid BrightData Do53 sample
+    contribute (per-client comparisons are impossible in super-proxy
+    countries, §3.5).
+    """
+    do53_by_node: Dict[str, List[float]] = {}
+    for sample in dataset.valid_do53(source="brightdata"):
+        do53_by_node.setdefault(sample.node_id, []).append(sample.time_ms)
+
+    grouped: Dict[Tuple[str, str], List] = {}
+    for sample in dataset.successful_doh():
+        grouped.setdefault((sample.node_id, sample.provider), []).append(sample)
+
+    stats: List[ClientProviderStat] = []
+    for (node_id, provider), samples in sorted(grouped.items()):
+        baseline = do53_by_node.get(node_id)
+        if not baseline:
+            continue
+        pop_samples = [s for s in samples if s.pop_lat is not None]
+        stats.append(
+            ClientProviderStat(
+                node_id=node_id,
+                country=samples[0].country,
+                provider=provider,
+                doh1_ms=median([s.t_doh_ms for s in samples]),
+                dohr_ms=median([s.t_dohr_ms for s in samples]),
+                do53_ms=median(baseline),
+                pop_lat=pop_samples[0].pop_lat if pop_samples else None,
+                pop_lon=pop_samples[0].pop_lon if pop_samples else None,
+            )
+        )
+    return stats
+
+
+def global_median_multipliers(
+    stats: Sequence[ClientProviderStat],
+    depths: Sequence[int] = REUSE_DEPTHS,
+) -> Dict[int, float]:
+    """Global median Do53→DoH-N multipliers (paper: 1.84/1.24/1.18/1.17)."""
+    return {
+        n: median([s.multiplier(n) for s in stats]) for n in depths
+    }
+
+
+def speedup_population_profile(
+    stats: Sequence[ClientProviderStat], n: int = 10
+) -> Dict[str, float]:
+    """Who are the clients that DoH makes faster? (§6.2.1)
+
+    The paper: of the clients that see a DoH *speedup*, 84% are in
+    countries with fast nationwide Internet and 93% in countries with
+    above-median AS counts.  Returns those two shares for the clients
+    whose DoH-``n`` beats their Do53.
+    """
+    from repro.geo.countries import COUNTRIES
+
+    import statistics as _statistics
+
+    as_median = _statistics.median(
+        country.num_ases for country in COUNTRIES.values()
+    )
+    winners = [s for s in stats if s.delta(n) < 0]
+    if not winners or not stats:
+        return {"share_fast_internet": 0.0, "share_high_ases": 0.0,
+                "winners": 0, "lift_fast_internet": 0.0,
+                "lift_high_ases": 0.0}
+
+    def _shares(population):
+        fast = sum(
+            1 for s in population if COUNTRIES[s.country].fast_internet
+        )
+        high = sum(
+            1 for s in population
+            if COUNTRIES[s.country].num_ases > as_median
+        )
+        return fast / len(population), high / len(population)
+
+    winner_fast, winner_high = _shares(winners)
+    base_fast, base_high = _shares(list(stats))
+    return {
+        "share_fast_internet": winner_fast,
+        "share_high_ases": winner_high,
+        "winners": len(winners),
+        # Lift over the base population: >1 means the speedup clients
+        # are concentrated in well-connected countries, as the paper
+        # observes.
+        "lift_fast_internet": winner_fast / base_fast if base_fast else 0.0,
+        "lift_high_ases": winner_high / base_high if base_high else 0.0,
+    }
+
+
+@dataclass(frozen=True)
+class HeadlineStats:
+    """The §5/§1 headline numbers."""
+
+    median_doh1_ms: float
+    median_dohr_ms: float
+    median_do53_ms: float
+    median_delta10_ms: float
+    share_speedup_doh1: float
+    share_speedup_doh10: float
+    share_tripled_doh1: float
+    median_multipliers: Dict[int, float]
+    n_client_provider_pairs: int
+
+
+def headline_stats(dataset: Dataset) -> HeadlineStats:
+    """Compute the paper's headline statistics from a dataset."""
+    stats = client_provider_stats(dataset)
+    if not stats:
+        raise ValueError("no comparable client-provider pairs in dataset")
+    doh1 = [s.doh1_ms for s in stats]
+    dohr = [s.dohr_ms for s in stats]
+    do53_all = [s.time_ms for s in dataset.valid_do53()]
+    return HeadlineStats(
+        median_doh1_ms=median(doh1),
+        median_dohr_ms=median(dohr),
+        median_do53_ms=median(do53_all),
+        median_delta10_ms=median([s.delta(10) for s in stats]),
+        share_speedup_doh1=sum(1 for s in stats if s.speedup_doh1)
+        / len(stats),
+        share_speedup_doh10=sum(1 for s in stats if s.delta(10) < 0)
+        / len(stats),
+        share_tripled_doh1=sum(1 for s in stats if s.multiplier(1) >= 3.0)
+        / len(stats),
+        median_multipliers=global_median_multipliers(stats),
+        n_client_provider_pairs=len(stats),
+    )

@@ -1,0 +1,200 @@
+"""One generator per paper table.
+
+Tables 1–2 require a :class:`GroundTruthHarness` (they are §4
+experiments over controlled exit nodes); Tables 3–6 are pure dataset
+analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.explain import (
+    LinearDeltaResult,
+    LogisticSlowdownResult,
+    linear_delta_model,
+    logistic_slowdown_model,
+)
+from repro.analysis.slowdown import client_provider_stats
+from repro.core.groundtruth import GroundTruthHarness, GroundTruthRow
+from repro.dataset.store import Dataset
+from repro.geo.countries import IncomeGroup
+
+__all__ = [
+    "table1_groundtruth_doh",
+    "table2_groundtruth_do53",
+    "table3_dataset_composition",
+    "table4_logistic",
+    "table5_linear",
+    "table6_linear_by_resolver",
+]
+
+#: The reuse depths Table 4 reports (OR, OR_10, OR_100, OR_1000).
+TABLE4_DEPTHS = (1, 10, 100, 1000)
+#: The outputs Table 5 reports (Delta, Delta 10, Delta 100).
+TABLE5_DEPTHS = (1, 10, 100)
+
+
+def table1_groundtruth_doh(
+    harness: GroundTruthHarness, provider: str = "cloudflare"
+) -> List[GroundTruthRow]:
+    """Table 1: method-vs-truth DoH and DoHR medians per country."""
+    return harness.validate_doh(provider)
+
+
+def table2_groundtruth_do53(
+    harness: GroundTruthHarness,
+) -> List[GroundTruthRow]:
+    """Table 2: method-vs-truth Do53 medians per country."""
+    return harness.validate_do53()
+
+
+@dataclass(frozen=True)
+class CompositionRow:
+    """One Table 3 row."""
+
+    resolver: str
+    clients: int
+    countries: int
+
+
+def table3_dataset_composition(dataset: Dataset) -> List[CompositionRow]:
+    """Table 3: unique clients and countries per resolver."""
+    rows = [
+        CompositionRow(
+            resolver=provider,
+            clients=dataset.unique_clients(provider),
+            countries=dataset.unique_countries(provider),
+        )
+        for provider in dataset.providers()
+    ]
+    rows.append(
+        CompositionRow(
+            resolver="do53 (default)",
+            clients=dataset.unique_clients(),
+            countries=dataset.unique_countries(),
+        )
+    )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One Table 4 row: odds ratios across reuse depths."""
+
+    variable: str
+    level: str
+    odds_ratios: Dict[int, float]
+    p_values: Dict[int, float]
+
+
+_TABLE4_LEVELS = (
+    ("bandwidth", "slow"),
+    ("income", IncomeGroup.UPPER_MIDDLE),
+    ("income", IncomeGroup.LOWER_MIDDLE),
+    ("income", IncomeGroup.LOW),
+    ("ases", "low"),
+    ("resolver", "google"),
+    ("resolver", "nextdns"),
+    ("resolver", "quad9"),
+)
+
+
+def table4_logistic(
+    dataset: Dataset,
+    depths: Sequence[int] = TABLE4_DEPTHS,
+) -> Tuple[List[Table4Row], Dict[int, LogisticSlowdownResult]]:
+    """Table 4: the logistic slowdown model across reuse depths."""
+    stats = client_provider_stats(dataset)
+    models = {
+        n: logistic_slowdown_model(dataset, n=n, stats=stats)
+        for n in depths
+    }
+    rows: List[Table4Row] = []
+    for variable, level in _TABLE4_LEVELS:
+        odds: Dict[int, float] = {}
+        pvals: Dict[int, float] = {}
+        for n, result in models.items():
+            try:
+                odds[n] = result.odds_of_slowdown(variable, level)
+                pvals[n] = result.p_value(variable, level)
+            except KeyError:
+                continue
+        if odds:
+            rows.append(
+                Table4Row(
+                    variable=variable, level=level,
+                    odds_ratios=odds, p_values=pvals,
+                )
+            )
+    return rows, models
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One Table 5/6 row: a metric's raw and scaled coefficients."""
+
+    output: str   # "delta", "delta10", "delta100"
+    metric: str   # gdp / bandwidth / num_ases / nameserver_dist / resolver_dist
+    coef: float
+    scaled_coef: float
+    p_value: float
+
+
+_TABLE5_METRICS = (
+    "gdp",
+    "bandwidth",
+    "num_ases",
+    "nameserver_dist",
+    "resolver_dist",
+)
+
+
+def table5_linear(
+    dataset: Dataset,
+    depths: Sequence[int] = TABLE5_DEPTHS,
+) -> Tuple[List[Table5Row], Dict[int, LinearDeltaResult]]:
+    """Table 5: the linear delta model for 1/10/100 reuse depths."""
+    stats = client_provider_stats(dataset)
+    models = {
+        n: linear_delta_model(dataset, n=n, stats=stats) for n in depths
+    }
+    rows: List[Table5Row] = []
+    for n, result in models.items():
+        label = "delta" if n == 1 else "delta{}".format(n)
+        for metric in _TABLE5_METRICS:
+            rows.append(
+                Table5Row(
+                    output=label,
+                    metric=metric,
+                    coef=result.coefficient(metric),
+                    scaled_coef=result.scaled_coefficient(metric),
+                    p_value=result.p_value(metric),
+                )
+            )
+    return rows, models
+
+
+def table6_linear_by_resolver(
+    dataset: Dataset,
+) -> Tuple[List[Table5Row], Dict[str, LinearDeltaResult]]:
+    """Table 6: per-resolver linear models of the DoH1 delta."""
+    stats = client_provider_stats(dataset)
+    models: Dict[str, LinearDeltaResult] = {}
+    rows: List[Table5Row] = []
+    for provider in dataset.providers():
+        result = linear_delta_model(dataset, n=1, provider=provider,
+                                    stats=stats)
+        models[provider] = result
+        for metric in _TABLE5_METRICS:
+            rows.append(
+                Table5Row(
+                    output=provider,
+                    metric=metric,
+                    coef=result.coefficient(metric),
+                    scaled_coef=result.scaled_coefficient(metric),
+                    p_value=result.p_value(metric),
+                )
+            )
+    return rows, models

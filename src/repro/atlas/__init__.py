@@ -1,0 +1,15 @@
+"""RIPE Atlas simulation.
+
+The paper falls back to RIPE Atlas probes for Do53 measurements in the
+11 countries where BrightData resolves DNS at the Super Proxy, after
+validating (§4.4) that the two platforms agree in overlap countries.
+This package models the relevant slice of Atlas: residential probes
+that can run conventional DNS measurements (and only those — Atlas
+does not support HTTPS to arbitrary hosts, which is why the paper
+could not use it for DoH).
+"""
+
+from repro.atlas.probes import AtlasProbe, build_probes
+from repro.atlas.api import AtlasClient, DnsResult
+
+__all__ = ["AtlasClient", "AtlasProbe", "DnsResult", "build_probes"]

@@ -1,0 +1,106 @@
+"""The measurement API surface of the simulated RIPE Atlas.
+
+Mirrors what the paper used: create a DNS measurement against a target
+name, distributed over probes in a country, and collect per-probe
+response times.  HTTPS measurements are deliberately *not* offered
+(Atlas restriction — footnote 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.atlas.probes import AtlasProbe
+from repro.dns.records import RRType
+from repro.dns.stub import StubError
+from repro.netsim.engine import Simulator
+
+__all__ = ["AtlasClient", "DnsResult"]
+
+
+@dataclass(frozen=True)
+class DnsResult:
+    """One probe's DNS measurement outcome."""
+
+    probe_id: str
+    country: str
+    time_ms: float
+    success: bool
+    error: str = ""
+
+
+class AtlasClient:
+    """Schedules DNS measurements over a probe fleet."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probes: Mapping[str, Sequence[AtlasProbe]],
+    ) -> None:
+        self.sim = sim
+        self.probes = {code: list(fleet) for code, fleet in probes.items()}
+
+    def countries(self) -> List[str]:
+        """Countries with at least one deployed probe."""
+        return sorted(self.probes)
+
+    def measure_dns(
+        self,
+        country: str,
+        qname_factory: Callable[[], str],
+        repetitions: int = 1,
+        max_probes: Optional[int] = None,
+    ):
+        """Run a DNS measurement; generator → List[DnsResult].
+
+        Each selected probe resolves ``repetitions`` fresh names with
+        its default resolver; every resolution is a separate result.
+        """
+        fleet = self.probes.get(country.upper(), [])
+        if max_probes is not None:
+            fleet = fleet[:max_probes]
+        results: List[DnsResult] = []
+        processes = []
+        for probe in fleet:
+            processes.append(
+                self.sim.spawn(
+                    self._probe_task(probe, qname_factory, repetitions, results),
+                    name="atlas-{}".format(probe.probe_id),
+                )
+            )
+        for process in processes:
+            if not process.triggered:
+                yield process
+        return results
+
+    def _probe_task(
+        self,
+        probe: AtlasProbe,
+        qname_factory: Callable[[], str],
+        repetitions: int,
+        results: List[DnsResult],
+    ):
+        for _ in range(repetitions):
+            qname = qname_factory()
+            try:
+                answer = yield from probe.stub.query(qname, RRType.A)
+                results.append(
+                    DnsResult(
+                        probe_id=probe.probe_id,
+                        country=probe.country_code,
+                        time_ms=answer.elapsed_ms,
+                        success=True,
+                    )
+                )
+            except StubError as exc:
+                results.append(
+                    DnsResult(
+                        probe_id=probe.probe_id,
+                        country=probe.country_code,
+                        time_ms=0.0,
+                        success=False,
+                        error=str(exc),
+                    )
+                )

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``campaign``    — build a world, run the measurement campaign, save
+  the dataset (JSON and/or CSV);
+* ``analyze``     — regenerate a paper artifact from a saved dataset;
+* ``groundtruth`` — run the §4 validation experiments (Tables 1–2);
+* ``info``        — describe what a configuration would build.
+
+Examples::
+
+    python -m repro campaign --scale 0.05 --out dataset.json
+    python -m repro analyze dataset.json --artifact headlines
+    python -m repro analyze dataset.json --artifact table4
+    python -m repro groundtruth --repetitions 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.campaign import Campaign
+from repro.core.config import ReproConfig
+from repro.core.groundtruth import GroundTruthHarness
+from repro.core.world import build_world
+from repro.dataset.store import Dataset
+from repro.proxy.population import PopulationConfig
+
+__all__ = ["main"]
+
+_ARTIFACTS = (
+    "headlines", "table3", "table4", "table5", "table6",
+    "figure3", "figure6", "figure7", "providers",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Measuring DNS-over-HTTPS "
+                    "Performance Around the World' (IMC 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser(
+        "campaign", help="run the measurement campaign"
+    )
+    campaign.add_argument("--scale", type=float, default=0.05,
+                          help="fleet scale (1.0 = 22,052 clients)")
+    campaign.add_argument("--seed", type=int, default=20210402)
+    campaign.add_argument("--out", help="write the dataset JSON here")
+    campaign.add_argument("--csv-dir",
+                          help="additionally export CSVs to this directory")
+    campaign.add_argument("--atlas-probes", type=int, default=8,
+                          help="RIPE Atlas probes per super-proxy country")
+
+    analyze = sub.add_parser(
+        "analyze", help="regenerate a paper artifact from a dataset"
+    )
+    analyze.add_argument("dataset", help="dataset JSON (from 'campaign')")
+    analyze.add_argument("--artifact", choices=_ARTIFACTS,
+                         default="headlines")
+
+    groundtruth = sub.add_parser(
+        "groundtruth", help="run the §4 ground-truth validation"
+    )
+    groundtruth.add_argument("--scale", type=float, default=0.01)
+    groundtruth.add_argument("--seed", type=int, default=20210402)
+    groundtruth.add_argument("--repetitions", type=int, default=10)
+
+    info = sub.add_parser("info", help="describe a configuration")
+    info.add_argument("--scale", type=float, default=0.05)
+    info.add_argument("--seed", type=int, default=20210402)
+    return parser
+
+
+def _cmd_campaign(args) -> int:
+    config = ReproConfig(
+        seed=args.seed, population=PopulationConfig(scale=args.scale)
+    )
+    started = time.time()
+    print("building world (scale={}, seed={})...".format(
+        args.scale, args.seed))
+    world = build_world(config)
+    print("  {} hosts, {} exit nodes".format(
+        len(world.network), len(world.nodes())))
+    print("running campaign...")
+    result = Campaign(
+        world, atlas_probes_per_country=args.atlas_probes
+    ).run()
+    dataset = result.dataset
+    print("  " + dataset.summary())
+    print("  discard rate {:.2%}".format(result.discard_rate))
+    if args.out:
+        dataset.save(args.out)
+        print("dataset written to {}".format(args.out))
+    if args.csv_dir:
+        from repro.dataset.csvio import export_csv
+
+        paths = export_csv(dataset, args.csv_dir)
+        print("CSVs written: {}".format(", ".join(sorted(paths.values()))))
+    print("done in {:.0f}s".format(time.time() - started))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    dataset = Dataset.load(args.dataset)
+    artifact = args.artifact
+    if artifact == "headlines":
+        from repro.analysis.slowdown import headline_stats
+
+        h = headline_stats(dataset)
+        print("median DoH1  {:.0f} ms (paper 415)".format(h.median_doh1_ms))
+        print("median Do53  {:.0f} ms (paper 234)".format(h.median_do53_ms))
+        print("median DoHR  {:.0f} ms".format(h.median_dohr_ms))
+        print("multipliers  " + "/".join(
+            "{:.2f}".format(h.median_multipliers[n])
+            for n in (1, 10, 100, 1000)
+        ) + " (paper 1.84/1.24/1.18/1.17)")
+        print("speedup@DoH1 {:.1%} (paper 19.1%)".format(
+            h.share_speedup_doh1))
+    elif artifact == "table3":
+        from repro.analysis.report import render_table3
+        from repro.analysis.tables import table3_dataset_composition
+
+        print(render_table3(table3_dataset_composition(dataset)))
+    elif artifact == "table4":
+        from repro.analysis.report import render_table4
+        from repro.analysis.tables import table4_logistic
+
+        rows, _models = table4_logistic(dataset)
+        print(render_table4(rows))
+    elif artifact == "table5":
+        from repro.analysis.report import render_table5
+        from repro.analysis.tables import table5_linear
+
+        rows, _models = table5_linear(dataset)
+        print(render_table5(rows, "Table 5: linear model"))
+    elif artifact == "table6":
+        from repro.analysis.report import render_table5
+        from repro.analysis.tables import table6_linear_by_resolver
+
+        rows, _models = table6_linear_by_resolver(dataset)
+        print(render_table5(rows, "Table 6: linear model by resolver"))
+    elif artifact == "figure3":
+        from repro.analysis.figures import figure3_clients_per_country
+        from repro.analysis.report import render_figure3
+
+        print(render_figure3(figure3_clients_per_country(dataset)))
+    elif artifact == "figure6":
+        from repro.analysis.pops import pop_distance_stats
+
+        for stat in pop_distance_stats(dataset):
+            print(
+                "{:<11} median improvement {:>5.0f} mi  "
+                "nearest {:.0%}  >=1000mi {:.0%}".format(
+                    stat.provider, stat.median_improvement_miles,
+                    stat.share_nearest, stat.share_over_1000_miles,
+                )
+            )
+    elif artifact == "figure7":
+        from repro.analysis.figures import figure7_delta_by_resolver
+        from repro.stats.descriptive import median
+
+        for provider, values in sorted(
+            figure7_delta_by_resolver(dataset).items()
+        ):
+            print("{:<11} median country delta10 {:>+7.1f} ms".format(
+                provider, median(values)))
+    elif artifact == "providers":
+        from repro.analysis.providers import provider_summaries
+
+        for s in provider_summaries(dataset):
+            print(
+                "{:<11} doh1 {:>4.0f}  dohr {:>4.0f}  pops {:>3}".format(
+                    s.provider, s.median_doh1_ms, s.median_dohr_ms,
+                    s.observed_pops,
+                )
+            )
+    return 0
+
+
+def _cmd_groundtruth(args) -> int:
+    from repro.analysis.report import render_groundtruth
+
+    config = ReproConfig(
+        seed=args.seed, population=PopulationConfig(scale=args.scale)
+    )
+    world = build_world(config)
+    harness = GroundTruthHarness(world, repetitions=args.repetitions)
+    print(render_groundtruth(
+        harness.validate_doh("cloudflare"),
+        "Table 1: DoH/DoHR method vs ground truth",
+    ))
+    print()
+    print(render_groundtruth(
+        harness.validate_do53(),
+        "Table 2: Do53 method vs ground truth",
+    ))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    config = ReproConfig(
+        seed=args.seed, population=PopulationConfig(scale=args.scale)
+    )
+    counts = config.population.scaled_counts()
+    print("seed {}, scale {}".format(args.seed, args.scale))
+    print("countries: {}".format(len(counts)))
+    print("exit nodes: {}".format(sum(counts.values())))
+    print("providers: {}".format(", ".join(config.providers)))
+    print("runs per client: {}".format(config.runs_per_client))
+    print("TLS version: {}".format(config.tls_version))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse *argv* and dispatch to a subcommand; returns exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "campaign": _cmd_campaign,
+        "analyze": _cmd_analyze,
+        "groundtruth": _cmd_groundtruth,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Cache-hit vs cache-miss study (the paper's §7 future work).
+
+The paper deliberately measures cache-miss performance only (fresh
+UUID names) and calls the hit/miss comparison out as future work,
+hypothesising that DoH's more centralised caches might behave
+differently.  This module runs that comparison on the simulated world:
+
+* **miss**: a fresh ``<UUID>.a.com`` every query (the paper's setup);
+* **hit**: a fixed popular name queried repeatedly — the second and
+  later queries are served from the resolver's cache (ISP resolver for
+  Do53, the provider PoP's resolver for DoH), so the answer no longer
+  travels to the authoritative server.
+
+It also quantifies the centralisation effect: a provider PoP serves
+whole regions, so a name one client warmed is a hit for *other*
+clients of the same PoP, while ISP resolver caches are per-ISP.
+"""
+
+from __future__ import annotations
+
+import itertools
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.world import World
+from repro.dns.records import RRType
+from repro.doh.client import resolve_direct
+from repro.doh.provider import PROVIDER_CONFIGS, ProviderConfig
+from repro.proxy.exitnode import ExitNode
+
+__all__ = ["CacheStudyResult", "cache_hit_study", "shared_cache_study"]
+
+_name_counter = itertools.count(1)
+
+
+def _fresh(domain: str) -> str:
+    return "cachestudy-{:06d}.{}".format(next(_name_counter), domain)
+
+
+@dataclass(frozen=True)
+class CacheStudyResult:
+    """Median per-query times for the four (protocol, cache) cells."""
+
+    do53_miss_ms: float
+    do53_hit_ms: float
+    doh_miss_ms: float   # reused TLS connection, fresh names
+    doh_hit_ms: float    # reused TLS connection, repeated name
+
+    @property
+    def do53_hit_speedup(self) -> float:
+        return self.do53_miss_ms - self.do53_hit_ms
+
+    @property
+    def doh_hit_speedup(self) -> float:
+        return self.doh_miss_ms - self.doh_hit_ms
+
+
+def cache_hit_study(
+    world: World,
+    node: ExitNode,
+    provider: Optional[ProviderConfig] = None,
+    repeats: int = 8,
+) -> CacheStudyResult:
+    """Measure hit/miss medians at one node for Do53 and DoH.
+
+    DoH queries reuse one TLS session throughout, so the hit/miss
+    difference isolates *resolution* caching from connection setup.
+    """
+    if provider is None:
+        provider = PROVIDER_CONFIGS["cloudflare"]
+    domain = world.config.measurement_domain
+    popular = "popular-{}.{}".format(node.node_id.lower(), domain)
+
+    do53_miss: List[float] = []
+    do53_hit: List[float] = []
+
+    def run_do53():
+        # Warm nothing: each fresh name is a miss by construction.
+        for _ in range(repeats):
+            answer = yield from node.stub.query(_fresh(domain), RRType.A)
+            do53_miss.append(answer.elapsed_ms)
+        # First popular query fills the cache; the rest are hits.
+        yield from node.stub.query(popular, RRType.A)
+        for _ in range(repeats):
+            answer = yield from node.stub.query(popular, RRType.A)
+            do53_hit.append(answer.elapsed_ms)
+
+    world.run(run_do53(), name="cache-study-do53")
+
+    doh_miss: List[float] = []
+    doh_hit: List[float] = []
+
+    def run_doh():
+        _t, _a, session = yield from resolve_direct(
+            node.host, node.stub, provider.domain, _fresh(domain),
+            service_ip=provider.vip,
+        )
+        for _ in range(repeats):
+            _m, elapsed = yield from session.query(_fresh(domain))
+            doh_miss.append(elapsed)
+        _m, _e = yield from session.query(popular)  # fill the PoP cache
+        for _ in range(repeats):
+            _m, elapsed = yield from session.query(popular)
+            doh_hit.append(elapsed)
+        session.close()
+
+    world.run(run_doh(), name="cache-study-doh")
+
+    return CacheStudyResult(
+        do53_miss_ms=statistics.median(do53_miss),
+        do53_hit_ms=statistics.median(do53_hit),
+        doh_miss_ms=statistics.median(doh_miss),
+        doh_hit_ms=statistics.median(doh_hit),
+    )
+
+
+def shared_cache_study(
+    world: World,
+    nodes: Sequence[ExitNode],
+    provider: Optional[ProviderConfig] = None,
+) -> Dict[str, float]:
+    """The centralisation effect: one client warms, another hits.
+
+    The first node resolves a shared name over DoH (warming its PoP's
+    cache) and over Do53 (warming its ISP resolver).  Each *other* node
+    then resolves the same name both ways; the result reports how many
+    of them hit a warm cache per protocol (their query never reached
+    the authoritative server).
+
+    Returns ``{"doh_shared_hit_rate": .., "do53_shared_hit_rate": ..}``.
+    """
+    if provider is None:
+        provider = PROVIDER_CONFIGS["cloudflare"]
+    if len(nodes) < 2:
+        raise ValueError("need a warming node plus probes")
+    domain = world.config.measurement_domain
+    shared = "shared-{:06d}.{}".format(next(_name_counter), domain)
+    warmer, probes = nodes[0], nodes[1:]
+
+    def warm():
+        _t, _a, session = yield from resolve_direct(
+            warmer.host, warmer.stub, provider.domain, shared,
+            service_ip=provider.vip,
+        )
+        session.close()
+        yield from warmer.stub.query(shared, RRType.A)
+
+    world.run(warm(), name="cache-study-warm")
+
+    served_before = len(world.auth_server.query_log)
+    doh_hits = 0
+    do53_hits = 0
+    for probe in probes:
+        def probe_doh(probe=probe):
+            _t, _a, session = yield from resolve_direct(
+                probe.host, probe.stub, provider.domain, shared,
+                service_ip=provider.vip,
+            )
+            session.close()
+
+        before = _auth_queries_for(world, shared)
+        world.run(probe_doh(), name="cache-study-probe-doh")
+        if _auth_queries_for(world, shared) == before:
+            doh_hits += 1
+
+        def probe_do53(probe=probe):
+            yield from probe.stub.query(shared, RRType.A)
+
+        before = _auth_queries_for(world, shared)
+        world.run(probe_do53(), name="cache-study-probe-do53")
+        if _auth_queries_for(world, shared) == before:
+            do53_hits += 1
+
+    return {
+        "doh_shared_hit_rate": doh_hits / len(probes),
+        "do53_shared_hit_rate": do53_hits / len(probes),
+    }
+
+
+def _auth_queries_for(world: World, qname: str) -> int:
+    target = qname.lower().rstrip(".")
+    return sum(
+        1 for entry in world.auth_server.query_log
+        if str(entry.qname) == target
+    )

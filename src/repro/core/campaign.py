@@ -1,0 +1,219 @@
+"""The full measurement campaign (§3.1, §5.1).
+
+For every exit node in the fleet, the client performs — per run — four
+DoH measurements (one per provider) and one Do53 measurement, all
+through the same node (session stickiness), with fresh UUID subdomains
+throughout.  Two runs per client, as in the paper.
+
+Afterwards:
+
+* data points whose BrightData country label disagrees with the
+  Maxmind lookup of the exit /24 are discarded (§3.5),
+* Do53 samples from the 11 super-proxy countries are marked invalid
+  and replaced by RIPE Atlas measurements (§3.5),
+* DoH queries are joined against the authoritative server's log to
+  identify the serving PoP (§5.2).
+
+Measurements for different clients run concurrently in simulation
+(the real campaign spanned April–May 2021), batched to bound memory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.atlas.api import AtlasClient
+from repro.atlas.probes import build_probes
+from repro.core.client import MeasurementClient
+from repro.core.timeline import Do53Raw, DohRaw
+from repro.core.validation import filter_mismatched, mismatch_rate
+from repro.core.world import World
+from repro.dataset.builder import DatasetBuilder
+from repro.dataset.store import Dataset
+from repro.doh.provider import PROVIDER_CONFIGS
+from repro.geo.countries import COUNTRIES, SUPER_PROXY_COUNTRIES
+from repro.proxy.exitnode import ExitNode
+
+__all__ = ["Campaign", "CampaignResult"]
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    dataset: Dataset
+    raw_doh: List[DohRaw] = field(default_factory=list)
+    raw_do53: List[Do53Raw] = field(default_factory=list)
+    discarded_doh: int = 0
+    discarded_do53: int = 0
+
+    @property
+    def discard_rate(self) -> float:
+        total = (
+            len(self.raw_doh) + len(self.raw_do53)
+            + self.discarded_doh + self.discarded_do53
+        )
+        discarded = self.discarded_doh + self.discarded_do53
+        return discarded / total if total else 0.0
+
+
+class Campaign:
+    """Runs the full data collection over a built world."""
+
+    def __init__(
+        self,
+        world: World,
+        atlas_probes_per_country: int = 20,
+        atlas_repetitions: int = 2,
+    ) -> None:
+        self.world = world
+        self.atlas_probes_per_country = atlas_probes_per_country
+        self.atlas_repetitions = atlas_repetitions
+        self.client = MeasurementClient(
+            world.client_host,
+            random.Random(world.config.seed + 1),
+            measurement_domain=world.config.measurement_domain,
+            tls_version=world.config.tls_version,
+        )
+
+    # -- per-node measurement plan -------------------------------------------
+
+    def _node_task(self, node: ExitNode, sink_doh: List[DohRaw],
+                   sink_do53: List[Do53Raw]):
+        world = self.world
+        country = node.claimed_country
+        profile = COUNTRIES.get(country)
+        location = profile.location if profile else node.host.location
+        super_proxy = world.proxy_network.nearest_super_proxy(location)
+        providers = [PROVIDER_CONFIGS[name] for name in world.config.providers]
+        for run_index in range(world.config.runs_per_client):
+            for provider in providers:
+                raw = yield from self.client.measure_doh(
+                    super_proxy,
+                    provider,
+                    country,
+                    node_id=node.node_id,
+                    run_index=run_index,
+                )
+                sink_doh.append(raw)
+            raw53 = yield from self.client.measure_do53(
+                super_proxy,
+                country,
+                node_id=node.node_id,
+                run_index=run_index,
+            )
+            sink_do53.append(raw53)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(
+        self,
+        nodes: Optional[Sequence[ExitNode]] = None,
+        progress=None,
+    ) -> CampaignResult:
+        """Execute the campaign; returns the processed dataset.
+
+        *progress*, if given, is called as ``progress(done, total)``
+        after every batch (long full-scale runs print from it).
+        """
+        world = self.world
+        sim = world.sim
+        if nodes is None:
+            nodes = world.nodes()
+        raw_doh: List[DohRaw] = []
+        raw_do53: List[Do53Raw] = []
+
+        batch_size = max(1, world.config.batch_size)
+        for start in range(0, len(nodes), batch_size):
+            batch = nodes[start:start + batch_size]
+            processes = [
+                sim.spawn(
+                    self._node_task(node, raw_doh, raw_do53),
+                    name="measure-{}".format(node.node_id),
+                )
+                for node in batch
+            ]
+            sim.run()
+            for process in processes:
+                if process.triggered and not process.ok:
+                    raise process.exception  # type: ignore[misc]
+            # The heap is drained between batches: drop per-channel
+            # bookkeeping so memory (and GC pressure) stays bounded on
+            # full-scale runs.
+            world.network.forget_flow_state()
+            if progress is not None:
+                progress(min(start + batch_size, len(nodes)), len(nodes))
+
+        # -- Maxmind validation (discard label mismatches) -----------------
+        kept_doh, dropped_doh = filter_mismatched(raw_doh, world.geolocation)
+        kept_do53, dropped_do53 = filter_mismatched(raw_do53, world.geolocation)
+
+        builder = DatasetBuilder(
+            world.geolocation,
+            min_clients_per_country=world.config.population.analyzed_threshold,
+        )
+        builder.ingest_auth_log(world.auth_server.query_log)
+
+        measured_node_ids = set()
+        for raw in kept_doh:
+            if raw.node_id:
+                measured_node_ids.add(raw.node_id)
+        for raw in kept_do53:
+            if raw.node_id:
+                measured_node_ids.add(raw.node_id)
+        node_by_id = {node.node_id: node for node in nodes}
+        for node_id in sorted(measured_node_ids):
+            node = node_by_id.get(node_id)
+            if node is None:
+                continue
+            builder.add_client(node.node_id, node.ip, node.claimed_country)
+
+        for raw in kept_doh:
+            builder.add_doh(raw)
+        for raw in kept_do53:
+            builder.add_do53(raw)
+
+        # -- RIPE Atlas supplement for the 11 super-proxy countries --------
+        self._run_atlas(builder)
+
+        return CampaignResult(
+            dataset=builder.build(),
+            raw_doh=kept_doh,
+            raw_do53=kept_do53,
+            discarded_doh=len(dropped_doh),
+            discarded_do53=len(dropped_do53),
+        )
+
+    def _run_atlas(self, builder: DatasetBuilder) -> None:
+        world = self.world
+        if self.atlas_probes_per_country <= 0:
+            return
+        covered = set(world.population.infrastructure)
+        target_countries = [
+            code for code in SUPER_PROXY_COUNTRIES if code in covered
+        ]
+        probes = build_probes(
+            network=world.network,
+            rng=world.rng,
+            allocator=world.allocator,
+            infrastructure=world.population.infrastructure,
+            countries=target_countries,
+            probes_per_country=self.atlas_probes_per_country,
+        )
+        atlas = AtlasClient(world.sim, probes)
+        for code in target_countries:
+            results = world.run(
+                atlas.measure_dns(
+                    code,
+                    self.client.fresh_name,
+                    repetitions=self.atlas_repetitions,
+                ),
+                name="atlas-{}".format(code),
+            )
+            for index, result in enumerate(results):
+                if result.success:
+                    builder.add_atlas_do53(
+                        result.probe_id, result.country, index, result.time_ms
+                    )

@@ -1,0 +1,280 @@
+"""The measurement client (Figure 1, "measurement client" box).
+
+Drives the Super Proxy exactly as the paper's client does:
+
+* **DoH measurement** — HTTP CONNECT to ``<provider domain>:443``
+  through a chosen exit node, then a TLS 1.3 handshake and one RFC 8484
+  GET *through the tunnel*.  Records T_A..T_D and the BrightData
+  headers; Equations 6–8 do the rest.
+* **Do53 measurement** — absolute-form GET of a fresh
+  ``http://<UUID>.a.com/`` through the same exit node; the Do53 time is
+  the ``dns`` header value.
+
+Unique UUID-style subdomains guarantee a cache miss at every layer, so
+both measurements capture resolution lower bounds (§3.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.core.timeline import Do53Raw, DohRaw
+from repro.doh.client import doh_query_on_stream
+from repro.doh.provider import ProviderConfig
+from repro.http.message import HeaderBag, HttpRequest, HttpResponse
+from repro.netsim.host import Host
+from repro.netsim.sockets import (
+    ConnectionClosed,
+    ConnectionRefused,
+    SocketTimeout,
+)
+from repro.proxy.headers import TimelineHeaders
+from repro.proxy.superproxy import PROXY_PORT, SuperProxy
+from repro.tls.handshake import TlsVersion, client_handshake
+from repro.tls.session import TlsConnection
+
+__all__ = ["MeasurementClient"]
+
+_MEASUREMENT_TIMEOUT_MS = 30000.0
+
+
+class MeasurementClient:
+    """Issues proxied DoH and Do53 measurements from a client machine."""
+
+    def __init__(
+        self,
+        host: Host,
+        rng: random.Random,
+        measurement_domain: str = "a.com",
+        tls_version: str = TlsVersion.TLS13,
+    ) -> None:
+        self.host = host
+        self.rng = rng
+        self.measurement_domain = measurement_domain
+        self.tls_version = tls_version
+        self._uuid_counter = 0
+
+    # -- unique names -----------------------------------------------------
+
+    def fresh_name(self) -> str:
+        """A unique subdomain, one per query, to defeat caching."""
+        self._uuid_counter += 1
+        return "u{:08d}-{:08x}.{}".format(
+            self._uuid_counter,
+            self.rng.getrandbits(32),
+            self.measurement_domain,
+        )
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _proxy_headers(
+        self,
+        country: str,
+        node_id: Optional[str],
+        session: Optional[str],
+    ) -> HeaderBag:
+        headers = HeaderBag()
+        headers.set("X-BD-Country", country)
+        if node_id is not None:
+            headers.set("X-BD-Node", node_id)
+        if session is not None:
+            headers.set("X-BD-Session", session)
+        return headers
+
+    # -- DoH ---------------------------------------------------------------
+
+    def measure_doh(
+        self,
+        super_proxy: SuperProxy,
+        provider: ProviderConfig,
+        country: str,
+        node_id: Optional[str] = None,
+        session: Optional[str] = None,
+        run_index: int = 0,
+    ):
+        """One proxied DoH measurement; generator → :class:`DohRaw`."""
+        sim = self.host.network.sim
+        qname = self.fresh_name()
+        conn = yield from self.host.open_tcp(super_proxy.host.ip, PROXY_PORT)
+        connect_request = HttpRequest(
+            method="CONNECT",
+            target="{}:443".format(provider.domain),
+            headers=self._proxy_headers(country, node_id, session),
+        )
+        t_a = sim.now
+        conn.send(connect_request, connect_request.wire_size())
+        try:
+            response = yield conn.recv(timeout_ms=_MEASUREMENT_TIMEOUT_MS)
+        except (ConnectionClosed, SocketTimeout) as exc:
+            conn.close()
+            return self._doh_failure(
+                provider, country, node_id, qname, t_a, sim.now, str(exc),
+                run_index,
+            )
+        t_b = sim.now
+        if not isinstance(response, HttpResponse) or not response.ok:
+            error = "tunnel failed"
+            headers = TimelineHeaders(tun={}, box={})
+            exit_ip = ""
+            actual_node = node_id or ""
+            if isinstance(response, HttpResponse):
+                error = response.headers.get("X-BD-Error", "tunnel failed")
+                headers = TimelineHeaders.from_headers(response.headers)
+                exit_ip = response.headers.get("X-BD-Exit-Ip", "")
+                actual_node = response.headers.get("X-BD-Node-Id", actual_node)
+            conn.close()
+            return DohRaw(
+                node_id=actual_node,
+                exit_ip=exit_ip,
+                claimed_country=country,
+                provider=provider.name,
+                qname=qname,
+                t_a=t_a,
+                t_b=t_b,
+                t_c=t_b,
+                t_d=t_b,
+                headers=headers,
+                tls_version=self.tls_version,
+                run_index=run_index,
+                success=False,
+                error=error,
+            )
+        headers = TimelineHeaders.from_headers(response.headers)
+        exit_ip = response.headers.get("X-BD-Exit-Ip", "")
+        actual_node = response.headers.get("X-BD-Node-Id", node_id or "")
+
+        t_c = sim.now
+        try:
+            handshake = yield from client_handshake(
+                conn,
+                sni=provider.domain,
+                version=self.tls_version,
+                crypto_ms=0.5,
+            )
+            stream = TlsConnection(conn, handshake, is_client=True)
+            _answer, _elapsed = yield from doh_query_on_stream(
+                stream,
+                provider.domain,
+                qname,
+                timeout_ms=_MEASUREMENT_TIMEOUT_MS,
+            )
+        except Exception as exc:
+            conn.close()
+            return self._doh_failure(
+                provider, country, actual_node, qname, t_a, sim.now,
+                "doh exchange failed: {}".format(exc), run_index,
+                exit_ip=exit_ip, headers=headers, t_b=t_b, t_c=t_c,
+            )
+        t_d = sim.now
+        conn.close()
+        return DohRaw(
+            node_id=actual_node,
+            exit_ip=exit_ip,
+            claimed_country=country,
+            provider=provider.name,
+            qname=qname,
+            t_a=t_a,
+            t_b=t_b,
+            t_c=t_c,
+            t_d=t_d,
+            headers=headers,
+            tls_version=self.tls_version,
+            run_index=run_index,
+        )
+
+    def _doh_failure(
+        self,
+        provider: ProviderConfig,
+        country: str,
+        node_id: Optional[str],
+        qname: str,
+        t_a: float,
+        now: float,
+        error: str,
+        run_index: int,
+        exit_ip: str = "",
+        headers: Optional[TimelineHeaders] = None,
+        t_b: Optional[float] = None,
+        t_c: Optional[float] = None,
+    ) -> DohRaw:
+        return DohRaw(
+            node_id=node_id or "",
+            exit_ip=exit_ip,
+            claimed_country=country,
+            provider=provider.name,
+            qname=qname,
+            t_a=t_a,
+            t_b=t_b if t_b is not None else now,
+            t_c=t_c if t_c is not None else now,
+            t_d=now,
+            headers=headers or TimelineHeaders(tun={}, box={}),
+            tls_version=self.tls_version,
+            run_index=run_index,
+            success=False,
+            error=error,
+        )
+
+    # -- Do53 ------------------------------------------------------------------
+
+    def measure_do53(
+        self,
+        super_proxy: SuperProxy,
+        country: str,
+        node_id: Optional[str] = None,
+        session: Optional[str] = None,
+        run_index: int = 0,
+    ):
+        """One proxied Do53 measurement; generator → :class:`Do53Raw`."""
+        qname = self.fresh_name()
+        conn = yield from self.host.open_tcp(super_proxy.host.ip, PROXY_PORT)
+        request = HttpRequest(
+            method="GET",
+            target="http://{}/".format(qname),
+            headers=self._proxy_headers(country, node_id, session),
+        )
+        conn.send(request, request.wire_size())
+        try:
+            response = yield conn.recv(timeout_ms=_MEASUREMENT_TIMEOUT_MS)
+        except (ConnectionClosed, SocketTimeout) as exc:
+            conn.close()
+            return Do53Raw(
+                node_id=node_id or "",
+                exit_ip="",
+                claimed_country=country,
+                qname=qname,
+                dns_ms=0.0,
+                headers=TimelineHeaders(tun={}, box={}),
+                resolved_at="unknown",
+                run_index=run_index,
+                success=False,
+                error=str(exc),
+            )
+        conn.close()
+        if not isinstance(response, HttpResponse) or not response.ok:
+            error = "fetch failed"
+            if isinstance(response, HttpResponse):
+                error = response.headers.get("X-BD-Error", error)
+            return Do53Raw(
+                node_id=node_id or "",
+                exit_ip="",
+                claimed_country=country,
+                qname=qname,
+                dns_ms=0.0,
+                headers=TimelineHeaders(tun={}, box={}),
+                resolved_at="unknown",
+                run_index=run_index,
+                success=False,
+                error=error,
+            )
+        headers = TimelineHeaders.from_headers(response.headers)
+        return Do53Raw(
+            node_id=response.headers.get("X-BD-Node-Id", node_id or ""),
+            exit_ip=response.headers.get("X-BD-Exit-Ip", ""),
+            claimed_country=country,
+            qname=qname,
+            dns_ms=headers.dns_ms,
+            headers=headers,
+            resolved_at=response.headers.get("X-BD-DNS-At", "exit"),
+            run_index=run_index,
+        )

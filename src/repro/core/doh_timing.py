@@ -1,0 +1,84 @@
+"""Equations 1–8: deriving DoH timings from the observables.
+
+The exit node's first-query DoH resolution time (Equation 1) is
+
+    t_DoH = (t3+t4+t5+t6) + (t11+t12) + (t17+t18+t19+t20)
+
+i.e. local DNS + TCP handshake + TLS round trip + query round trip.
+Only the first group is directly reported (BrightData's tun-timeline
+header).  Under the paper's two assumptions —
+
+1. the client↔exit round trip is stable across the measurement, and
+2. BrightData box processing happens once, during tunnel setup, and is
+   fully reported in the timeline header —
+
+the rest follows from the four client timestamps (Equation 7):
+
+    t_DoH = (T_D−T_C) − 2(T_B−T_A) + 3(t3+t4+t5+t6) + 2·t_BrightData
+
+and the connection-reuse time (Equation 8), additionally assuming the
+TLS round trip equals the TCP handshake (t11+t12 = t5+t6):
+
+    t_DoHR = (T_D−T_C) − 2(T_B−T_A) + 2(t3+t4+t5+t6)
+             + 2·t_BrightData − (t11+t12)
+"""
+
+from __future__ import annotations
+
+from repro.core.timeline import DohRaw
+
+__all__ = [
+    "compute_rtt_estimate",
+    "compute_t_doh",
+    "compute_t_dohr",
+    "doh_n",
+]
+
+
+def _exit_side_ms(raw: DohRaw) -> float:
+    """(t3+t4+t5+t6): exit-local DNS plus TCP handshake, from headers."""
+    return raw.headers.dns_ms + raw.headers.connect_ms
+
+
+def compute_rtt_estimate(raw: DohRaw) -> float:
+    """Equation 6: the client↔exit round trip (via the Super Proxy).
+
+    RTT = (T_B−T_A) − (t3+t4+t5+t6) − t_BrightData
+    """
+    return raw.tunnel_ms - _exit_side_ms(raw) - raw.headers.brightdata_ms
+
+
+def compute_t_doh(raw: DohRaw) -> float:
+    """Equation 7: the first-query DoH resolution time at the exit node."""
+    return (
+        raw.exchange_ms
+        - 2.0 * raw.tunnel_ms
+        + 3.0 * _exit_side_ms(raw)
+        + 2.0 * raw.headers.brightdata_ms
+    )
+
+
+def compute_t_dohr(raw: DohRaw) -> float:
+    """Equation 8: the reused-connection query time at the exit node.
+
+    Uses the paper's extra assumption (t11+t12) = (t5+t6): the TLS
+    round trip to the resolver equals the TCP handshake time.
+    """
+    return (
+        raw.exchange_ms
+        - 2.0 * raw.tunnel_ms
+        + 2.0 * _exit_side_ms(raw)
+        + 2.0 * raw.headers.brightdata_ms
+        - raw.headers.connect_ms
+    )
+
+
+def doh_n(t_doh: float, t_dohr: float, n: int) -> float:
+    """The paper's DoH-N: average per-query time over *n* queries.
+
+    The first query pays the full handshake (t_DoH); the remaining
+    ``n−1`` reuse the TLS session (t_DoHR each).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return (t_doh + (n - 1) * t_dohr) / float(n)

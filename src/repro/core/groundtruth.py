@@ -1,0 +1,317 @@
+"""Ground-truth validation experiments (§4, Tables 1–2, §4.4).
+
+The paper volunteers its own EC2 machines into the BrightData network,
+so it can measure the *true* DoH/DoHR/Do53 times at an exit node and
+compare them with what Equations 7–8 derive through the proxy.  Here we
+do literally the same: build controlled exit nodes (datacenter-grade
+hosts, like EC2), enroll them, measure directly at the node, then
+measure through the Super Proxy with the node pinned.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.client import MeasurementClient
+from repro.core.doh_timing import compute_t_doh, compute_t_dohr
+from repro.core.world import ROOT_VIP, World
+from repro.dns.records import RRType
+from repro.dns.recursive import RecursiveResolver
+from repro.doh.client import resolve_direct
+from repro.doh.provider import PROVIDER_CONFIGS, ProviderConfig
+from repro.geo.cities import CITIES, City
+from repro.geo.coords import LatLon
+from repro.netsim.host import Host, SiteProfile
+from repro.proxy.exitnode import ExitNode
+
+__all__ = ["GroundTruthHarness", "GroundTruthRow", "atlas_consistency"]
+
+#: EC2 regions the paper used, mapped to our city table.
+DEFAULT_GT_CITIES = {
+    "IE": "dublin",
+    "BR": "saopaulo",
+    "SE": "stockholm",
+    "IT": "milan",
+    "IN": "mumbai",
+    "US": "ashburn",
+}
+
+
+@dataclass(frozen=True)
+class GroundTruthRow:
+    """One Table 1/2 cell group: method vs truth for one country."""
+
+    country: str
+    metric: str  # "doh", "dohr" or "do53"
+    method_ms: float
+    truth_ms: float
+
+    @property
+    def difference_ms(self) -> float:
+        return abs(self.method_ms - self.truth_ms)
+
+
+def _ec2_site(city: City) -> SiteProfile:
+    """An EC2-like attachment: datacenter grade, cloud-region routing."""
+    return SiteProfile(
+        location=city.location,
+        country_code=city.country_code,
+        last_mile_ms=0.5,
+        bandwidth_mbps=2000.0,
+        path_stretch=1.25,
+        jitter_scale=0.5,
+        loss_rate=0.0008,
+        datacenter=True,
+    )
+
+
+class GroundTruthHarness:
+    """Builds controlled exit nodes and runs the §4 experiments."""
+
+    def __init__(
+        self,
+        world: World,
+        countries: Optional[Dict[str, str]] = None,
+        repetitions: int = 10,
+    ) -> None:
+        self.world = world
+        self.cities = dict(countries or DEFAULT_GT_CITIES)
+        self.repetitions = repetitions
+        self.nodes: Dict[str, ExitNode] = {}
+        self.client = MeasurementClient(
+            world.client_host,
+            random.Random(world.config.seed + 2),
+            measurement_domain=world.config.measurement_domain,
+            tls_version=world.config.tls_version,
+        )
+        self._build_nodes()
+
+    # -- controlled exit nodes --------------------------------------------
+
+    def _build_nodes(self) -> None:
+        world = self.world
+        for country_code, city_key in sorted(self.cities.items()):
+            city = CITIES[city_key]
+            ip = world.allocator.allocate(country_code, new_subnet=True)
+            host = world.network.add_host(
+                "gt-exit-{}".format(country_code), ip, _ec2_site(city)
+            )
+            world.geolocation.register(ip, country_code, city.location)
+            # The EC2 VPC resolver: colocated, fast, warm.
+            resolver_ip = world.allocator.allocate(country_code, new_subnet=True)
+            resolver_host = world.network.add_host(
+                "gt-resolver-{}".format(country_code),
+                resolver_ip,
+                SiteProfile.datacenter_site(city.location, country_code),
+            )
+            resolver = RecursiveResolver(
+                resolver_host, [ROOT_VIP], world.rng, processing_ms=0.5
+            )
+            resolver.start()
+            node = ExitNode(
+                node_id="gt-{}".format(country_code),
+                host=host,
+                resolver_ip=resolver_ip,
+                claimed_country=country_code,
+                rng=world.rng,
+            )
+            node.start()
+            world.proxy_network.enroll(node)
+            self.nodes[country_code] = node
+
+    # -- Table 1: DoH and DoHR ------------------------------------------------
+
+    def validate_doh(
+        self, provider_name: str = "cloudflare"
+    ) -> List[GroundTruthRow]:
+        """Method-vs-truth medians for DoH and DoHR per country."""
+        provider = PROVIDER_CONFIGS[provider_name]
+        rows: List[GroundTruthRow] = []
+        for country_code, node in sorted(self.nodes.items()):
+            truth_doh, truth_dohr = self._truth_doh(node, provider)
+            method_doh, method_dohr = self._method_doh(node, provider)
+            rows.append(GroundTruthRow(country_code, "doh",
+                                       method_doh, truth_doh))
+            rows.append(GroundTruthRow(country_code, "dohr",
+                                       method_dohr, truth_dohr))
+        return rows
+
+    def _truth_doh(
+        self, node: ExitNode, provider: ProviderConfig
+    ) -> Tuple[float, float]:
+        world = self.world
+        totals: List[float] = []
+        reuses: List[float] = []
+
+        def one_measurement():
+            timing, _answer, session = yield from resolve_direct(
+                node.host,
+                node.stub,
+                provider.domain,
+                self.client.fresh_name(),
+                tls_version=world.config.tls_version,
+            )
+            _m, reuse_ms = yield from session.query(self.client.fresh_name())
+            session.close()
+            totals.append(timing.total_ms)
+            reuses.append(reuse_ms)
+
+        for _ in range(self.repetitions):
+            world.run(one_measurement(), name="gt-direct-doh")
+        return statistics.median(totals), statistics.median(reuses)
+
+    def _method_doh(
+        self, node: ExitNode, provider: ProviderConfig
+    ) -> Tuple[float, float]:
+        world = self.world
+        dohs: List[float] = []
+        dohrs: List[float] = []
+        super_proxy = world.proxy_network.nearest_super_proxy(
+            node.host.location
+        )
+        for _ in range(self.repetitions):
+            raw = world.run(
+                self.client.measure_doh(
+                    super_proxy,
+                    provider,
+                    node.claimed_country,
+                    node_id=node.node_id,
+                ),
+                name="gt-method-doh",
+            )
+            if raw.success:
+                dohs.append(compute_t_doh(raw))
+                dohrs.append(compute_t_dohr(raw))
+        if not dohs:
+            raise RuntimeError(
+                "no successful method measurements at {}".format(node.node_id)
+            )
+        return statistics.median(dohs), statistics.median(dohrs)
+
+    # -- Table 2: Do53 --------------------------------------------------------
+
+    def validate_do53(
+        self, countries: Optional[Sequence[str]] = None
+    ) -> List[GroundTruthRow]:
+        """Method-vs-truth Do53 medians (super-proxy countries skipped)."""
+        from repro.geo.countries import SUPER_PROXY_COUNTRIES
+
+        rows: List[GroundTruthRow] = []
+        selected = countries or [
+            code for code in sorted(self.nodes)
+            if code not in SUPER_PROXY_COUNTRIES
+        ]
+        for country_code in selected:
+            node = self.nodes[country_code]
+            truth = self._truth_do53(node)
+            method = self._method_do53(node)
+            rows.append(GroundTruthRow(country_code, "do53", method, truth))
+        return rows
+
+    def _truth_do53(self, node: ExitNode) -> float:
+        world = self.world
+        times: List[float] = []
+
+        def one_query():
+            answer = yield from node.stub.query(
+                self.client.fresh_name(), RRType.A
+            )
+            times.append(answer.elapsed_ms)
+
+        for _ in range(self.repetitions):
+            world.run(one_query(), name="gt-direct-do53")
+        return statistics.median(times)
+
+    def _method_do53(self, node: ExitNode) -> float:
+        world = self.world
+        super_proxy = world.proxy_network.nearest_super_proxy(
+            node.host.location
+        )
+        times: List[float] = []
+        for _ in range(self.repetitions):
+            raw = world.run(
+                self.client.measure_do53(
+                    super_proxy, node.claimed_country, node_id=node.node_id
+                ),
+                name="gt-method-do53",
+            )
+            if raw.success and raw.resolved_at == "exit":
+                times.append(raw.dns_ms)
+        if not times:
+            raise RuntimeError(
+                "no valid Do53 method measurements at {}".format(node.node_id)
+            )
+        return statistics.median(times)
+
+
+def atlas_consistency(
+    world: World,
+    countries: Sequence[str],
+    samples_per_country: int = 250,
+    probes_per_country: int = 25,
+) -> List[Tuple[str, float, float]]:
+    """§4.4: per-country Do53 medians, BrightData vs RIPE Atlas.
+
+    Returns ``(country, brightdata_median, atlas_median)`` rows.  The
+    paper found an average difference of 7.6ms (σ=5.2ms) over overlap
+    countries.
+    """
+    from repro.atlas.api import AtlasClient
+    from repro.atlas.probes import build_probes
+
+    client = MeasurementClient(
+        world.client_host,
+        random.Random(world.config.seed + 3),
+        measurement_domain=world.config.measurement_domain,
+    )
+    probes = build_probes(
+        network=world.network,
+        rng=world.rng,
+        allocator=world.allocator,
+        infrastructure=world.population.infrastructure,
+        countries=list(countries),
+        probes_per_country=probes_per_country,
+    )
+    atlas = AtlasClient(world.sim, probes)
+
+    rows: List[Tuple[str, float, float]] = []
+    for code in countries:
+        code = code.upper()
+        nodes = [
+            node for node in world.nodes() if node.claimed_country == code
+        ]
+        if not nodes or code not in probes:
+            continue
+        bd_times: List[float] = []
+        super_proxy = world.proxy_network.nearest_super_proxy(
+            nodes[0].host.location
+        )
+        for index in range(samples_per_country):
+            node = nodes[index % len(nodes)]
+            raw = world.run(
+                client.measure_do53(
+                    super_proxy, code, node_id=node.node_id
+                ),
+                name="s44-bd",
+            )
+            if raw.success and raw.resolved_at == "exit":
+                bd_times.append(raw.dns_ms)
+        repetitions = max(1, samples_per_country // probes_per_country)
+        results = world.run(
+            atlas.measure_dns(code, client.fresh_name,
+                              repetitions=repetitions),
+            name="s44-atlas",
+        )
+        atlas_times = [r.time_ms for r in results if r.success]
+        if bd_times and atlas_times:
+            rows.append(
+                (
+                    code,
+                    statistics.median(bd_times),
+                    statistics.median(atlas_times),
+                )
+            )
+    return rows

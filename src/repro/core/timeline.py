@@ -1,0 +1,71 @@
+"""Raw measurement records: the observables of Figure 2.
+
+The methodology may use **only** what the real system could see: the
+four client-side timestamps (T_A..T_D), the BrightData timing headers,
+and response metadata.  Ground-truth quantities (true step timings)
+live elsewhere — in the directly-controlled exit nodes of §4 — so the
+validation is honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.proxy.headers import TimelineHeaders
+
+__all__ = ["Do53Raw", "DohRaw"]
+
+
+@dataclass(frozen=True)
+class DohRaw:
+    """Observables of one proxied DoH measurement.
+
+    Timestamps (simulated ms):
+
+    * ``t_a`` — CONNECT sent to the Super Proxy,
+    * ``t_b`` — 200 received (tunnel established),
+    * ``t_c`` — ClientHello sent (TLS start),
+    * ``t_d`` — DoH response received.
+    """
+
+    node_id: str
+    exit_ip: str
+    claimed_country: str
+    provider: str
+    qname: str
+    t_a: float
+    t_b: float
+    t_c: float
+    t_d: float
+    headers: TimelineHeaders
+    tls_version: str
+    run_index: int = 0
+    success: bool = True
+    error: str = ""
+
+    @property
+    def tunnel_ms(self) -> float:
+        """T_B − T_A."""
+        return self.t_b - self.t_a
+
+    @property
+    def exchange_ms(self) -> float:
+        """T_D − T_C."""
+        return self.t_d - self.t_c
+
+
+@dataclass(frozen=True)
+class Do53Raw:
+    """Observables of one proxied Do53 measurement."""
+
+    node_id: str
+    exit_ip: str
+    claimed_country: str
+    qname: str
+    dns_ms: float
+    headers: TimelineHeaders
+    resolved_at: str  # "exit" or "superproxy"
+    run_index: int = 0
+    success: bool = True
+    error: str = ""

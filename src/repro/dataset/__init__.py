@@ -1,0 +1,18 @@
+"""Dataset model: processed measurements ready for analysis.
+
+The paper releases its dataset; this package defines the records, the
+container with query helpers, and JSON serialisation so campaign
+outputs can be saved and re-analysed without re-simulation.
+"""
+
+from repro.dataset.records import ClientRecord, Do53Sample, DohSample
+from repro.dataset.store import Dataset
+from repro.dataset.builder import DatasetBuilder
+
+__all__ = [
+    "ClientRecord",
+    "Dataset",
+    "DatasetBuilder",
+    "Do53Sample",
+    "DohSample",
+]

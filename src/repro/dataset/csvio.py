@@ -1,0 +1,114 @@
+"""CSV import/export for the dataset (the paper's release format).
+
+The paper publishes its dataset; flat CSVs are the lingua franca for
+reuse.  Three files are written: ``clients.csv``, ``doh.csv`` and
+``do53.csv``.  :func:`load_csv` reads them back into a
+:class:`~repro.dataset.store.Dataset`.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional
+
+from repro.dataset.records import ClientRecord, Do53Sample, DohSample
+from repro.dataset.store import Dataset
+
+__all__ = ["export_csv", "load_csv"]
+
+_CLIENT_FIELDS = ("node_id", "ip_prefix", "country", "lat", "lon")
+_DOH_FIELDS = (
+    "node_id", "country", "provider", "run_index", "t_doh_ms",
+    "t_dohr_ms", "rtt_estimate_ms", "pop_ip_prefix", "pop_lat",
+    "pop_lon", "success", "error",
+)
+_DO53_FIELDS = (
+    "node_id", "country", "run_index", "time_ms", "source", "valid",
+    "success", "error",
+)
+
+
+def _write(path: str, fields, rows) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(fields))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def export_csv(dataset: Dataset, directory: str) -> Dict[str, str]:
+    """Write the dataset as three CSVs into *directory*.
+
+    Returns ``{kind: path}`` for the files written.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = {
+        "clients": os.path.join(directory, "clients.csv"),
+        "doh": os.path.join(directory, "doh.csv"),
+        "do53": os.path.join(directory, "do53.csv"),
+    }
+    _write(paths["clients"], _CLIENT_FIELDS,
+           (client.to_json() for client in dataset.clients))
+    _write(paths["doh"], _DOH_FIELDS,
+           (sample.to_json() for sample in dataset.doh))
+    _write(paths["do53"], _DO53_FIELDS,
+           (sample.to_json() for sample in dataset.do53))
+    return paths
+
+
+def _parse_optional_float(text: str) -> Optional[float]:
+    return float(text) if text not in ("", "None") else None
+
+
+def _parse_bool(text: str) -> bool:
+    return text in ("True", "true", "1")
+
+
+def load_csv(directory: str,
+             min_clients_per_country: int = 10) -> Dataset:
+    """Read a dataset previously written by :func:`export_csv`."""
+    clients: List[ClientRecord] = []
+    with open(os.path.join(directory, "clients.csv"), newline="") as handle:
+        for row in csv.DictReader(handle):
+            clients.append(ClientRecord(
+                node_id=row["node_id"],
+                ip_prefix=row["ip_prefix"],
+                country=row["country"],
+                lat=float(row["lat"]),
+                lon=float(row["lon"]),
+            ))
+    doh: List[DohSample] = []
+    with open(os.path.join(directory, "doh.csv"), newline="") as handle:
+        for row in csv.DictReader(handle):
+            doh.append(DohSample(
+                node_id=row["node_id"],
+                country=row["country"],
+                provider=row["provider"],
+                run_index=int(row["run_index"]),
+                t_doh_ms=float(row["t_doh_ms"]),
+                t_dohr_ms=float(row["t_dohr_ms"]),
+                rtt_estimate_ms=float(row["rtt_estimate_ms"]),
+                pop_ip_prefix=row["pop_ip_prefix"],
+                pop_lat=_parse_optional_float(row["pop_lat"]),
+                pop_lon=_parse_optional_float(row["pop_lon"]),
+                success=_parse_bool(row["success"]),
+                error=row["error"],
+            ))
+    do53: List[Do53Sample] = []
+    with open(os.path.join(directory, "do53.csv"), newline="") as handle:
+        for row in csv.DictReader(handle):
+            do53.append(Do53Sample(
+                node_id=row["node_id"],
+                country=row["country"],
+                run_index=int(row["run_index"]),
+                time_ms=float(row["time_ms"]),
+                source=row["source"],
+                valid=_parse_bool(row["valid"]),
+                success=_parse_bool(row["success"]),
+                error=row["error"],
+            ))
+    return Dataset(
+        clients=clients, doh=doh, do53=do53,
+        min_clients_per_country=min_clients_per_country,
+    )

@@ -1,0 +1,95 @@
+"""Processed dataset records.
+
+Privacy follows the paper's appendix: client addresses are stored only
+as /24 prefixes, and geolocation is /24-based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+from repro.geo.ipalloc import prefix_of
+
+__all__ = ["ClientRecord", "Do53Sample", "DohSample"]
+
+
+@dataclass(frozen=True)
+class ClientRecord:
+    """One unique measurement client (exit node) in the dataset."""
+
+    node_id: str
+    ip_prefix: str  # /24 only, per the paper's ethics appendix
+    country: str    # validated (BrightData label == Maxmind lookup)
+    lat: float
+    lon: float
+
+    @classmethod
+    def from_parts(
+        cls, node_id: str, address: str, country: str, lat: float, lon: float
+    ) -> "ClientRecord":
+        return cls(
+            node_id=node_id,
+            ip_prefix=prefix_of(address),
+            country=country,
+            lat=round(lat, 3),
+            lon=round(lon, 3),
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON/CSV serialisation."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ClientRecord":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class DohSample:
+    """One DoH measurement after Equations 7/8 were applied."""
+
+    node_id: str
+    country: str
+    provider: str
+    run_index: int
+    t_doh_ms: float       # Equation 7 (first query, with handshake)
+    t_dohr_ms: float      # Equation 8 (connection reuse)
+    rtt_estimate_ms: float  # Equation 6 (client↔exit via proxy)
+    #: /24 of the recursive resolver that hit our authoritative server
+    #: for this query (how the paper discovers PoPs), "" if unobserved.
+    pop_ip_prefix: str = ""
+    pop_lat: Optional[float] = None
+    pop_lon: Optional[float] = None
+    success: bool = True
+    error: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON/CSV serialisation."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "DohSample":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class Do53Sample:
+    """One Do53 measurement (BrightData fetch or RIPE Atlas probe)."""
+
+    node_id: str
+    country: str
+    run_index: int
+    time_ms: float
+    source: str = "brightdata"  # or "ripeatlas"
+    valid: bool = True
+    success: bool = True
+    error: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON/CSV serialisation."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Do53Sample":
+        return cls(**data)

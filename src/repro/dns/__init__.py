@@ -1,0 +1,70 @@
+"""DNS substrate: wire format, servers and resolvers.
+
+Implements the pieces of the DNS the paper's measurements exercise:
+
+* :mod:`repro.dns.name` — domain-name handling,
+* :mod:`repro.dns.message` — the RFC 1035 message codec, including name
+  compression (real bytes on the simulated wire),
+* :mod:`repro.dns.records` — resource records (A, NS, CNAME, SOA, TXT,
+  AAAA) with typed rdata,
+* :mod:`repro.dns.zone` — zone data with wildcard support (the paper's
+  ``<UUID>.a.com`` names are served by a wildcard),
+* :mod:`repro.dns.cache` — a TTL cache,
+* :mod:`repro.dns.authoritative` — a BIND-like authoritative server,
+* :mod:`repro.dns.recursive` — an iterative recursive resolver,
+* :mod:`repro.dns.stub` — the client-side stub (Do53 over UDP).
+"""
+
+from repro.dns.name import DomainName
+from repro.dns.message import (
+    Flags,
+    Header,
+    Message,
+    Opcode,
+    Question,
+    Rcode,
+    WireError,
+)
+from repro.dns.records import (
+    ARecord,
+    AAAARecord,
+    CNAMERecord,
+    NSRecord,
+    RRClass,
+    RRType,
+    ResourceRecord,
+    SOARecord,
+    TXTRecord,
+)
+from repro.dns.zone import Zone, ZoneError
+from repro.dns.cache import DnsCache
+from repro.dns.authoritative import AuthoritativeServer
+from repro.dns.recursive import RecursiveResolver, ResolutionError
+from repro.dns.stub import StubResolver
+
+__all__ = [
+    "AAAARecord",
+    "ARecord",
+    "AuthoritativeServer",
+    "CNAMERecord",
+    "DnsCache",
+    "DomainName",
+    "Flags",
+    "Header",
+    "Message",
+    "NSRecord",
+    "Opcode",
+    "Question",
+    "RRClass",
+    "RRType",
+    "Rcode",
+    "RecursiveResolver",
+    "ResolutionError",
+    "ResourceRecord",
+    "SOARecord",
+    "StubResolver",
+    "TXTRecord",
+    "WireError",
+    "Zone",
+    "ZoneError",
+]

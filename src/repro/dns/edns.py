@@ -1,0 +1,142 @@
+"""EDNS(0) and the Client-Subnet option (RFC 6891, RFC 7871).
+
+Two reasons this exists in the reproduction:
+
+* realistic message sizes: modern resolvers attach an OPT record
+  advertising a large UDP payload size, which also gates the TC-bit
+  truncation logic of the authoritative server;
+* the paper's ethics appendix: its authoritative server could observe
+  EDNS Client-Subnet (ECS) data from public resolvers and the authors
+  take care *not* to inspect it.  Google's public DNS famously sends
+  ECS; Cloudflare refuses to.  The provider deployments reproduce that
+  split, and the query log records the (uninspected) presence.
+
+The OPT pseudo-record abuses the record fields per RFC 6891: CLASS is
+the requestor's UDP payload size and TTL carries flags; options live in
+the RDATA.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from repro.dns.message import Message
+from repro.dns.name import DomainName
+from repro.dns.records import OPTRecord, RRType, ResourceRecord
+
+__all__ = [
+    "ClientSubnet",
+    "DEFAULT_UDP_PAYLOAD",
+    "EdnsInfo",
+    "attach_edns",
+    "parse_edns",
+]
+
+DEFAULT_UDP_PAYLOAD = 1232  # the post-flag-day consensus value
+_ECS_OPTION_CODE = 8
+_FAMILY_IPV4 = 1
+
+
+@dataclass(frozen=True)
+class ClientSubnet:
+    """An RFC 7871 client-subnet option (IPv4 only here)."""
+
+    address: str          # dotted quad, already truncated is fine
+    source_prefix: int = 24
+    scope_prefix: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.source_prefix <= 32:
+            raise ValueError("bad source prefix length")
+        if not 0 <= self.scope_prefix <= 32:
+            raise ValueError("bad scope prefix length")
+
+    @property
+    def prefix_text(self) -> str:
+        return "{}/{}".format(self.address, self.source_prefix)
+
+    def encode(self) -> bytes:
+        """Encode as a complete EDNS option (code, length, payload)."""
+        octets = [int(p) for p in self.address.split(".")]
+        if len(octets) != 4:
+            raise ValueError("bad IPv4 address {!r}".format(self.address))
+        keep = (self.source_prefix + 7) // 8
+        payload = struct.pack(
+            "!HBB", _FAMILY_IPV4, self.source_prefix, self.scope_prefix
+        ) + bytes(octets[:keep])
+        return struct.pack("!HH", _ECS_OPTION_CODE, len(payload)) + payload
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ClientSubnet":
+        if len(payload) < 4:
+            raise ValueError("short ECS option")
+        family, source, scope = struct.unpack_from("!HBB", payload, 0)
+        if family != _FAMILY_IPV4:
+            raise ValueError("only IPv4 ECS is modelled")
+        octets = list(payload[4:8]) + [0, 0, 0, 0]
+        address = "{}.{}.{}.{}".format(*octets[:4])
+        return cls(address=address, source_prefix=source,
+                   scope_prefix=scope)
+
+
+@dataclass(frozen=True)
+class EdnsInfo:
+    """Parsed EDNS state of a message."""
+
+    udp_payload_size: int = DEFAULT_UDP_PAYLOAD
+    client_subnet: Optional[ClientSubnet] = None
+
+
+def attach_edns(
+    message: Message,
+    udp_payload_size: int = DEFAULT_UDP_PAYLOAD,
+    client_subnet: Optional[ClientSubnet] = None,
+) -> Message:
+    """Return *message* with an OPT pseudo-record appended."""
+    payload = client_subnet.encode() if client_subnet else b""
+    opt = ResourceRecord(
+        name=DomainName("."),
+        rtype=RRType.OPT,
+        rclass=udp_payload_size,
+        ttl=0,
+        rdata=OPTRecord(payload=payload),
+    )
+    additional = tuple(
+        record for record in message.additional
+        if record.rtype != RRType.OPT
+    ) + (opt,)
+    header = replace(message.header, arcount=len(additional))
+    return Message(
+        header=header,
+        questions=message.questions,
+        answers=message.answers,
+        authority=message.authority,
+        additional=additional,
+    )
+
+
+def parse_edns(message: Message) -> Optional[EdnsInfo]:
+    """Extract EDNS info from *message*, or None if no OPT record."""
+    for record in message.additional:
+        if record.rtype != RRType.OPT:
+            continue
+        subnet: Optional[ClientSubnet] = None
+        payload = record.rdata.payload  # type: ignore[union-attr]
+        position = 0
+        while position + 4 <= len(payload):
+            code, length = struct.unpack_from("!HH", payload, position)
+            position += 4
+            body = payload[position:position + length]
+            position += length
+            if code == _ECS_OPTION_CODE:
+                try:
+                    subnet = ClientSubnet.decode(body)
+                except ValueError:
+                    subnet = None
+        return EdnsInfo(
+            udp_payload_size=max(512, record.rclass),
+            client_subnet=subnet,
+        )
+    return None

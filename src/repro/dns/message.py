@@ -1,0 +1,319 @@
+"""RFC 1035 DNS message codec.
+
+Messages round-trip through real wire bytes — including name
+compression pointers on encode and decode — so the byte counts the
+latency model charges for DNS traffic are the actual protocol sizes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.dns.name import DomainName
+from repro.dns.records import ResourceRecord, decode_rdata
+
+__all__ = [
+    "Flags",
+    "Header",
+    "Message",
+    "Opcode",
+    "Question",
+    "Rcode",
+    "WireError",
+]
+
+_MAX_POINTER_HOPS = 64
+
+
+class WireError(ValueError):
+    """Malformed DNS wire data."""
+
+
+class Opcode:
+    """DNS opcodes (QUERY and the status probe)."""
+    QUERY = 0
+    STATUS = 2
+
+
+class Rcode:
+    """DNS response codes."""
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+    _NAMES = {0: "NOERROR", 1: "FORMERR", 2: "SERVFAIL", 3: "NXDOMAIN",
+              4: "NOTIMP", 5: "REFUSED"}
+
+    @classmethod
+    def to_text(cls, code: int) -> str:
+        return cls._NAMES.get(code, "RCODE{}".format(code))
+
+
+@dataclass(frozen=True)
+class Flags:
+    """The flag bits of the DNS header."""
+
+    qr: bool = False  # response
+    opcode: int = Opcode.QUERY
+    aa: bool = False  # authoritative answer
+    tc: bool = False  # truncated
+    rd: bool = True   # recursion desired
+    ra: bool = False  # recursion available
+    rcode: int = Rcode.NOERROR
+
+    def encode(self) -> int:
+        """Pack the flag bits into the header word."""
+        value = 0
+        value |= (1 << 15) if self.qr else 0
+        value |= (self.opcode & 0xF) << 11
+        value |= (1 << 10) if self.aa else 0
+        value |= (1 << 9) if self.tc else 0
+        value |= (1 << 8) if self.rd else 0
+        value |= (1 << 7) if self.ra else 0
+        value |= self.rcode & 0xF
+        return value
+
+    @classmethod
+    def decode(cls, value: int) -> "Flags":
+        return cls(
+            qr=bool(value & (1 << 15)),
+            opcode=(value >> 11) & 0xF,
+            aa=bool(value & (1 << 10)),
+            tc=bool(value & (1 << 9)),
+            rd=bool(value & (1 << 8)),
+            ra=bool(value & (1 << 7)),
+            rcode=value & 0xF,
+        )
+
+
+@dataclass(frozen=True)
+class Header:
+    """DNS header: 16-bit id, flags, section counts."""
+
+    id: int
+    flags: Flags
+    qdcount: int = 0
+    ancount: int = 0
+    nscount: int = 0
+    arcount: int = 0
+
+    def encode(self) -> bytes:
+        """Pack the header into its 12 wire bytes."""
+        return struct.pack(
+            "!HHHHHH",
+            self.id & 0xFFFF,
+            self.flags.encode(),
+            self.qdcount,
+            self.ancount,
+            self.nscount,
+            self.arcount,
+        )
+
+    @classmethod
+    def decode(cls, wire: bytes) -> "Header":
+        if len(wire) < 12:
+            raise WireError("message shorter than header")
+        ident, flags, qd, an, ns, ar = struct.unpack_from("!HHHHHH", wire, 0)
+        return cls(ident, Flags.decode(flags), qd, an, ns, ar)
+
+
+@dataclass(frozen=True)
+class Question:
+    """One entry of the question section."""
+
+    name: DomainName
+    qtype: int
+    qclass: int = 1  # IN
+
+
+@dataclass(frozen=True)
+class Message:
+    """A complete DNS message."""
+
+    header: Header
+    questions: Tuple[Question, ...] = ()
+    answers: Tuple[ResourceRecord, ...] = ()
+    authority: Tuple[ResourceRecord, ...] = ()
+    additional: Tuple[ResourceRecord, ...] = ()
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def query(
+        cls, ident: int, name: DomainName, qtype: int, rd: bool = True
+    ) -> "Message":
+        """Build a standard query for *name*/*qtype*."""
+        return cls(
+            header=Header(ident, Flags(qr=False, rd=rd), qdcount=1),
+            questions=(Question(name, qtype),),
+        )
+
+    def respond(
+        self,
+        rcode: int,
+        answers: Tuple[ResourceRecord, ...] = (),
+        authority: Tuple[ResourceRecord, ...] = (),
+        additional: Tuple[ResourceRecord, ...] = (),
+        aa: bool = False,
+        ra: bool = False,
+    ) -> "Message":
+        """Build a response to this query, echoing id and question."""
+        flags = replace(
+            self.header.flags, qr=True, aa=aa, ra=ra, rcode=rcode
+        )
+        return Message(
+            header=Header(
+                self.header.id,
+                flags,
+                qdcount=len(self.questions),
+                ancount=len(answers),
+                nscount=len(authority),
+                arcount=len(additional),
+            ),
+            questions=self.questions,
+            answers=tuple(answers),
+            authority=tuple(authority),
+            additional=tuple(additional),
+        )
+
+    @property
+    def question(self) -> Question:
+        if not self.questions:
+            raise WireError("message has no question")
+        return self.questions[0]
+
+    @property
+    def rcode(self) -> int:
+        return self.header.flags.rcode
+
+    # -- wire encoding -----------------------------------------------------
+
+    def to_wire(self) -> bytes:
+        """Serialise to RFC 1035 bytes with name compression."""
+        out = bytearray()
+        offsets: Dict[Tuple[str, ...], int] = {}
+
+        def encode_name(name: DomainName, base: int) -> bytes:
+            chunk = bytearray()
+            labels = name.labels
+            for index in range(len(labels)):
+                suffix = labels[index:]
+                pointer = offsets.get(suffix)
+                if pointer is not None and pointer < 0x4000:
+                    chunk += struct.pack("!H", 0xC000 | pointer)
+                    return bytes(chunk)
+                position = base + len(chunk)
+                if position < 0x4000:
+                    offsets[suffix] = position
+                raw = labels[index].encode()
+                chunk.append(len(raw))
+                chunk += raw
+            chunk.append(0)
+            return bytes(chunk)
+
+        header = replace(
+            self.header,
+            qdcount=len(self.questions),
+            ancount=len(self.answers),
+            nscount=len(self.authority),
+            arcount=len(self.additional),
+        )
+        out += header.encode()
+        for question in self.questions:
+            out += encode_name(question.name, len(out))
+            out += struct.pack("!HH", question.qtype, question.qclass)
+        for record in self.answers + self.authority + self.additional:
+            out += encode_name(record.name, len(out))
+            out += struct.pack("!HHI", record.rtype, record.rclass, record.ttl)
+            length_at = len(out)
+            out += b"\x00\x00"  # rdlength placeholder
+            rdata_start = length_at + 2
+            consumed = [0]
+
+            def encode_rdata_name(name: DomainName) -> bytes:
+                chunk = encode_name(name, rdata_start + consumed[0])
+                consumed[0] += len(chunk)
+                return chunk
+
+            rdata = record.rdata.encode(encode_rdata_name)
+            out += rdata
+            struct.pack_into("!H", out, length_at, len(rdata))
+        return bytes(out)
+
+    @classmethod
+    def from_wire(cls, wire: bytes) -> "Message":
+        """Parse RFC 1035 bytes, following compression pointers."""
+        header = Header.decode(wire)
+        pos = 12
+
+        def decode_name(data: bytes, offset: int) -> Tuple[DomainName, int]:
+            labels: List[str] = []
+            hops = 0
+            end = None
+            while True:
+                if offset >= len(data):
+                    raise WireError("truncated name")
+                length = data[offset]
+                if length & 0xC0 == 0xC0:
+                    if offset + 1 >= len(data):
+                        raise WireError("truncated compression pointer")
+                    pointer = struct.unpack_from("!H", data, offset)[0] & 0x3FFF
+                    if end is None:
+                        end = offset + 2
+                    if pointer >= offset:
+                        raise WireError("forward compression pointer")
+                    offset = pointer
+                    hops += 1
+                    if hops > _MAX_POINTER_HOPS:
+                        raise WireError("compression pointer loop")
+                    continue
+                if length & 0xC0:
+                    raise WireError("reserved label type")
+                offset += 1
+                if length == 0:
+                    break
+                if offset + length > len(data):
+                    raise WireError("truncated label")
+                labels.append(data[offset:offset + length].decode(errors="replace"))
+                offset += length
+            if end is None:
+                end = offset
+            return DomainName(labels), end
+
+        questions: List[Question] = []
+        for _ in range(header.qdcount):
+            name, pos = decode_name(wire, pos)
+            if pos + 4 > len(wire):
+                raise WireError("truncated question")
+            qtype, qclass = struct.unpack_from("!HH", wire, pos)
+            pos += 4
+            questions.append(Question(name, qtype, qclass))
+
+        def decode_records(count: int, pos: int):
+            records: List[ResourceRecord] = []
+            for _ in range(count):
+                name, pos = decode_name(wire, pos)
+                if pos + 10 > len(wire):
+                    raise WireError("truncated record header")
+                rtype, rclass, ttl, rdlength = struct.unpack_from("!HHIH", wire, pos)
+                pos += 10
+                if pos + rdlength > len(wire):
+                    raise WireError("truncated rdata")
+                rdata = decode_rdata(rtype, wire, pos, rdlength, decode_name)
+                pos += rdlength
+                records.append(ResourceRecord(name, rtype, rclass, ttl, rdata))
+            return tuple(records), pos
+
+        answers, pos = decode_records(header.ancount, pos)
+        authority, pos = decode_records(header.nscount, pos)
+        additional, pos = decode_records(header.arcount, pos)
+        return cls(header, tuple(questions), answers, authority, additional)
+
+    def wire_size(self) -> int:
+        """Encoded size in bytes (what the latency model charges)."""
+        return len(self.to_wire())

@@ -1,0 +1,258 @@
+"""Resource records with typed rdata and wire codecs.
+
+Each rdata type knows how to encode itself to RFC 1035 wire bytes and
+decode itself back (NS/CNAME/SOA rdata may use name compression, which
+is handled by the shared name codec in :mod:`repro.dns.message`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Union
+
+from repro.dns.name import DomainName
+
+__all__ = [
+    "AAAARecord",
+    "ARecord",
+    "CNAMERecord",
+    "NSRecord",
+    "OPTRecord",
+    "RRClass",
+    "RRType",
+    "Rdata",
+    "ResourceRecord",
+    "SOARecord",
+    "TXTRecord",
+]
+
+
+class RRType:
+    """Resource record type codes (subset the reproduction uses)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    TXT = 16
+    AAAA = 28
+    OPT = 41
+
+    _NAMES = {1: "A", 2: "NS", 5: "CNAME", 6: "SOA", 16: "TXT",
+              28: "AAAA", 41: "OPT"}
+
+    @classmethod
+    def to_text(cls, code: int) -> str:
+        return cls._NAMES.get(code, "TYPE{}".format(code))
+
+
+class RRClass:
+    """Resource record class codes."""
+
+    IN = 1
+
+    @classmethod
+    def to_text(cls, code: int) -> str:
+        return "IN" if code == cls.IN else "CLASS{}".format(code)
+
+
+@dataclass(frozen=True)
+class ARecord:
+    """IPv4 address rdata."""
+
+    address: str
+
+    def encode(self, encode_name: Callable[[DomainName], bytes]) -> bytes:
+        """Encode the rdata to wire bytes."""
+        parts = [int(p) for p in self.address.split(".")]
+        if len(parts) != 4 or any(not 0 <= p <= 255 for p in parts):
+            raise ValueError("bad IPv4 address: {!r}".format(self.address))
+        return bytes(parts)
+
+
+@dataclass(frozen=True)
+class AAAARecord:
+    """IPv6 address rdata (stored as 16 raw bytes, hex text API)."""
+
+    address: str  # 32 hex chars, no colons (simulation-internal form)
+
+    def encode(self, encode_name: Callable[[DomainName], bytes]) -> bytes:
+        """Encode the rdata to wire bytes."""
+        raw = bytes.fromhex(self.address)
+        if len(raw) != 16:
+            raise ValueError("bad IPv6 address: {!r}".format(self.address))
+        return raw
+
+
+@dataclass(frozen=True)
+class NSRecord:
+    """Delegation rdata."""
+
+    nsdname: DomainName
+
+    def encode(self, encode_name: Callable[[DomainName], bytes]) -> bytes:
+        """Encode the rdata to wire bytes."""
+        return encode_name(self.nsdname)
+
+
+@dataclass(frozen=True)
+class CNAMERecord:
+    """Alias rdata."""
+
+    target: DomainName
+
+    def encode(self, encode_name: Callable[[DomainName], bytes]) -> bytes:
+        """Encode the rdata to wire bytes."""
+        return encode_name(self.target)
+
+
+@dataclass(frozen=True)
+class TXTRecord:
+    """Free-text rdata (single character-string chunks <=255 bytes)."""
+
+    text: str
+
+    def encode(self, encode_name: Callable[[DomainName], bytes]) -> bytes:
+        """Encode the rdata to wire bytes."""
+        raw = self.text.encode()
+        chunks = [raw[i:i + 255] for i in range(0, len(raw), 255)] or [b""]
+        return b"".join(bytes([len(chunk)]) + chunk for chunk in chunks)
+
+
+@dataclass(frozen=True)
+class SOARecord:
+    """Start-of-authority rdata."""
+
+    mname: DomainName
+    rname: DomainName
+    serial: int
+    refresh: int = 7200
+    retry: int = 900
+    expire: int = 1209600
+    minimum: int = 300
+
+    def encode(self, encode_name: Callable[[DomainName], bytes]) -> bytes:
+        """Encode the rdata to wire bytes."""
+        return (
+            encode_name(self.mname)
+            + encode_name(self.rname)
+            + struct.pack(
+                "!IIIII",
+                self.serial,
+                self.refresh,
+                self.retry,
+                self.expire,
+                self.minimum,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class OPTRecord:
+    """EDNS0 pseudo-record rdata (carried opaque)."""
+
+    payload: bytes = b""
+
+    def encode(self, encode_name: Callable[[DomainName], bytes]) -> bytes:
+        """Encode the rdata to wire bytes."""
+        return self.payload
+
+
+Rdata = Union[
+    ARecord, AAAARecord, NSRecord, CNAMERecord, TXTRecord, SOARecord, OPTRecord
+]
+
+_RDATA_TYPES: Dict[int, type] = {
+    RRType.A: ARecord,
+    RRType.AAAA: AAAARecord,
+    RRType.NS: NSRecord,
+    RRType.CNAME: CNAMERecord,
+    RRType.TXT: TXTRecord,
+    RRType.SOA: SOARecord,
+    RRType.OPT: OPTRecord,
+}
+
+
+def decode_rdata(
+    rtype: int,
+    wire: bytes,
+    offset: int,
+    rdlength: int,
+    decode_name: Callable[[bytes, int], Tuple[DomainName, int]],
+) -> Rdata:
+    """Decode rdata for *rtype* from *wire* at *offset*."""
+    end = offset + rdlength
+    if rtype == RRType.A:
+        if rdlength != 4:
+            raise ValueError("A rdata must be 4 bytes")
+        return ARecord(".".join(str(b) for b in wire[offset:end]))
+    if rtype == RRType.AAAA:
+        if rdlength != 16:
+            raise ValueError("AAAA rdata must be 16 bytes")
+        return AAAARecord(wire[offset:end].hex())
+    if rtype == RRType.NS:
+        name, _ = decode_name(wire, offset)
+        return NSRecord(name)
+    if rtype == RRType.CNAME:
+        name, _ = decode_name(wire, offset)
+        return CNAMERecord(name)
+    if rtype == RRType.TXT:
+        chunks = []
+        pos = offset
+        while pos < end:
+            length = wire[pos]
+            pos += 1
+            chunks.append(wire[pos:pos + length])
+            pos += length
+        return TXTRecord(b"".join(chunks).decode(errors="replace"))
+    if rtype == RRType.SOA:
+        mname, pos = decode_name(wire, offset)
+        rname, pos = decode_name(wire, pos)
+        serial, refresh, retry, expire, minimum = struct.unpack_from("!IIIII", wire, pos)
+        return SOARecord(mname, rname, serial, refresh, retry, expire, minimum)
+    if rtype == RRType.OPT:
+        return OPTRecord(bytes(wire[offset:end]))
+    raise ValueError("unsupported rdata type {}".format(rtype))
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One resource record: owner name, type, class, TTL and rdata."""
+
+    name: DomainName
+    rtype: int
+    rclass: int
+    ttl: int
+    rdata: Rdata
+
+    def __post_init__(self) -> None:
+        expected = _RDATA_TYPES.get(self.rtype)
+        if expected is not None and not isinstance(self.rdata, expected):
+            raise TypeError(
+                "rdata for {} must be {}, got {}".format(
+                    RRType.to_text(self.rtype),
+                    expected.__name__,
+                    type(self.rdata).__name__,
+                )
+            )
+        if self.ttl < 0:
+            raise ValueError("negative TTL")
+
+    def with_name(self, name: DomainName) -> "ResourceRecord":
+        """Copy of this record owned by *name* (wildcard synthesis)."""
+        return ResourceRecord(name, self.rtype, self.rclass, self.ttl, self.rdata)
+
+    def with_ttl(self, ttl: int) -> "ResourceRecord":
+        """Copy of this record with a new TTL (cache aging)."""
+        return ResourceRecord(self.name, self.rtype, self.rclass, ttl, self.rdata)
+
+    def to_text(self) -> str:
+        """Zone-file-like single-line rendering."""
+        return "{} {} {} {} {!r}".format(
+            self.name,
+            self.ttl,
+            RRClass.to_text(self.rclass),
+            RRType.to_text(self.rtype),
+            self.rdata,
+        )

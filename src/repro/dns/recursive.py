@@ -1,0 +1,443 @@
+"""An iterative recursive resolver with cache.
+
+Models both the ISP resolvers that serve the exit nodes' *default*
+(Do53) lookups and the resolution backend inside each DoH provider PoP.
+
+The resolver walks the delegation chain (root → TLD → authoritative)
+over UDP with retry timers, honours CNAME chains, and caches every
+record set it learns.  ISP resolvers are created *warm* — root hints,
+``com`` delegation and (optionally) popular records pre-cached — which
+is how real resolvers behave and why a unique ``<UUID>.a.com`` costs
+exactly one authoritative round trip in steady state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dns.cache import DnsCache
+from repro.dns.edns import DEFAULT_UDP_PAYLOAD, ClientSubnet, attach_edns
+from repro.dns.message import Message, Rcode
+from repro.dns.tcp import (
+    TcpFramingError,
+    frame_tcp_message,
+    unframe_tcp_message,
+)
+from repro.dns.name import DomainName
+from repro.dns.records import ARecord, NSRecord, RRClass, RRType, ResourceRecord
+from repro.netsim.engine import Event
+from repro.netsim.host import Host
+from repro.netsim.sockets import (
+    ConnectionClosed,
+    ConnectionRefused,
+    Datagram,
+    SocketTimeout,
+)
+
+__all__ = ["RecursiveResolver", "ResolutionError", "ResolutionOutcome"]
+
+DNS_PORT = 53
+_MAX_REFERRALS = 16
+_MAX_CNAME_CHASES = 8
+
+
+class ResolutionError(Exception):
+    """Resolution failed (no servers reachable, loop, etc.)."""
+
+
+@dataclass(frozen=True)
+class ResolutionOutcome:
+    """Result of one recursive resolution."""
+
+    rcode: int
+    records: Tuple[ResourceRecord, ...]
+    from_cache: bool = False
+    upstream_queries: int = 0
+
+    @property
+    def addresses(self) -> Tuple[str, ...]:
+        """All IPv4 addresses among the answer records."""
+        return tuple(
+            record.rdata.address
+            for record in self.records
+            if record.rtype == RRType.A and isinstance(record.rdata, ARecord)
+        )
+
+
+@dataclass
+class ResolverStats:
+    """Operational counters for tests and reports."""
+
+    client_queries: int = 0
+    upstream_queries: int = 0
+    servfails: int = 0
+    timeouts: int = 0
+
+
+class RecursiveResolver:
+    """Iterative resolver bound to a simulated host.
+
+    ``processing_ms`` models per-query handling time (overloaded ISP
+    resolvers in low-infrastructure countries are configured with
+    larger values by the population builder).
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        root_servers: Sequence[str],
+        rng: random.Random,
+        processing_ms: float = 2.0,
+        query_timeout_ms: float = 1500.0,
+        max_retries: int = 2,
+        port: int = DNS_PORT,
+    ) -> None:
+        if not root_servers:
+            raise ValueError("at least one root server is required")
+        self.host = host
+        self.root_servers = list(root_servers)
+        self.rng = rng
+        self.processing_ms = processing_ms
+        self.query_timeout_ms = query_timeout_ms
+        self.max_retries = max_retries
+        self.port = port
+        self.cache = DnsCache(lambda: host.network.sim.now)
+        self.stats = ResolverStats()
+        self._socket = None
+        self._listener = None
+
+    # -- serving clients ------------------------------------------------
+
+    def start(self) -> None:
+        """Serve stub queries on UDP and TCP ``port``."""
+        if self._socket is not None:
+            raise RuntimeError("resolver already started")
+        self._socket = self.host.udp_socket(self.port)
+        self._listener = self.host.listen_tcp(self.port, self._serve_tcp)
+        self.host.network.sim.spawn(
+            self._serve(), name="recursive-{}".format(self.host.ip)
+        )
+
+    def stop(self) -> None:
+        """Close the sockets and stop serving."""
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def _serve_tcp(self, conn):
+        """Serve framed stub queries over TCP (the TC-bit fallback)."""
+        while True:
+            try:
+                payload = yield conn.recv()
+            except ConnectionClosed:
+                return
+            if not isinstance(payload, (bytes, bytearray)):
+                conn.close()
+                return
+            try:
+                query, _rest = unframe_tcp_message(bytes(payload))
+            except TcpFramingError:
+                conn.close()
+                return
+            if query.header.flags.qr or not query.questions:
+                continue
+            self.stats.client_queries += 1
+            if self.processing_ms > 0:
+                yield self.host.busy(self.processing_ms)
+            question = query.question
+            try:
+                outcome = yield from self.resolve(
+                    question.name, question.qtype
+                )
+                response = query.respond(
+                    outcome.rcode, answers=outcome.records, ra=True
+                )
+            except ResolutionError:
+                self.stats.servfails += 1
+                response = query.respond(Rcode.SERVFAIL, ra=True)
+            framed = frame_tcp_message(response)
+            try:
+                conn.send(framed, len(framed))
+            except ConnectionClosed:
+                return
+
+    def _serve(self):
+        while self._socket is not None and not self._socket.closed:
+            try:
+                datagram: Datagram = yield self._socket.recv()
+            except OSError:
+                return
+            self.host.network.sim.spawn(
+                self._handle(datagram),
+                name="recursive-query-{}".format(self.host.ip),
+            )
+
+    def _handle(self, datagram: Datagram):
+        try:
+            query = Message.from_wire(datagram.payload)
+        except Exception:
+            return
+        if query.header.flags.qr or not query.questions:
+            return
+        self.stats.client_queries += 1
+        if self.processing_ms > 0:
+            yield self.host.busy(self.processing_ms)
+        question = query.question
+        try:
+            outcome = yield from self.resolve(question.name, question.qtype)
+            response = query.respond(
+                outcome.rcode, answers=outcome.records, ra=True
+            )
+        except ResolutionError:
+            self.stats.servfails += 1
+            response = query.respond(Rcode.SERVFAIL, ra=True)
+        wire = response.to_wire()
+        sock = self._socket
+        if sock is None or sock.closed:
+            return
+        sock.sendto(wire, len(wire), datagram.src_ip, datagram.src_port)
+
+    # -- cache warming ----------------------------------------------------
+
+    def warm(self, records: Sequence[ResourceRecord]) -> None:
+        """Pre-cache *records* grouped by (name, type)."""
+        grouped: Dict[Tuple[DomainName, int], List[ResourceRecord]] = {}
+        for record in records:
+            grouped.setdefault((record.name, record.rtype), []).append(record)
+        for (name, rtype), group in grouped.items():
+            self.cache.put(name, rtype, tuple(group))
+
+    # -- iterative resolution -----------------------------------------------
+
+    def resolve(self, name: DomainName, rtype: int,
+                client_subnet: Optional[ClientSubnet] = None):
+        """Resolve *name*/*rtype*; generator returning ResolutionOutcome.
+
+        *client_subnet* is forwarded upstream as an RFC 7871 ECS option
+        (what Google's public resolver does; Cloudflare deliberately
+        does not).  It does not partition the cache — the scope
+        handling of full ECS caching is out of scope here.
+        """
+        cached = self.cache.get(name, rtype)
+        if cached is not None:
+            rcode = Rcode.NXDOMAIN if cached.negative else Rcode.NOERROR
+            return ResolutionOutcome(
+                rcode=rcode, records=cached.records, from_cache=True
+            )
+
+        answers: List[ResourceRecord] = []
+        target = name
+        upstream = 0
+        for _chase in range(_MAX_CNAME_CHASES):
+            outcome, count = yield from self._resolve_iterative(
+                target, rtype, client_subnet
+            )
+            upstream += count
+            if outcome.rcode != Rcode.NOERROR:
+                return ResolutionOutcome(
+                    rcode=outcome.rcode,
+                    records=tuple(answers),
+                    upstream_queries=upstream,
+                )
+            answers.extend(outcome.records)
+            cname = next(
+                (
+                    record
+                    for record in outcome.records
+                    if record.rtype == RRType.CNAME
+                ),
+                None,
+            )
+            if cname is None or rtype == RRType.CNAME:
+                result = ResolutionOutcome(
+                    rcode=Rcode.NOERROR,
+                    records=tuple(answers),
+                    upstream_queries=upstream,
+                )
+                self.cache.put(name, rtype, result.records)
+                return result
+            if any(record.rtype == rtype for record in outcome.records):
+                result = ResolutionOutcome(
+                    rcode=Rcode.NOERROR,
+                    records=tuple(answers),
+                    upstream_queries=upstream,
+                )
+                self.cache.put(name, rtype, result.records)
+                return result
+            target = cname.rdata.target  # type: ignore[union-attr]
+        raise ResolutionError("CNAME chain too long for {}".format(name))
+
+    def _best_known_servers(self, name: DomainName) -> Tuple[List[str], DomainName]:
+        """Closest cached delegation for *name*, else the root."""
+        probe = name
+        while True:
+            entry = self.cache.get(probe, RRType.NS)
+            if entry is not None and not entry.negative:
+                addresses: List[str] = []
+                for ns in entry.records:
+                    if ns.rtype != RRType.NS:
+                        continue
+                    glue = self.cache.get(
+                        ns.rdata.nsdname, RRType.A  # type: ignore[union-attr]
+                    )
+                    if glue is not None:
+                        addresses.extend(
+                            record.rdata.address  # type: ignore[union-attr]
+                            for record in glue.records
+                            if record.rtype == RRType.A
+                        )
+                if addresses:
+                    return addresses, probe
+            if probe.is_root:
+                return list(self.root_servers), DomainName(".")
+            probe = probe.parent()
+
+    def _resolve_iterative(self, name: DomainName, rtype: int,
+                           client_subnet: Optional[ClientSubnet] = None):
+        servers, _zone = self._best_known_servers(name)
+        upstream = 0
+        for _step in range(_MAX_REFERRALS):
+            response = None
+            for server in servers:
+                response, attempts = yield from self._query_server(
+                    server, name, rtype, client_subnet
+                )
+                upstream += attempts
+                if response is not None:
+                    break
+            if response is None:
+                raise ResolutionError(
+                    "all nameservers unreachable for {}".format(name)
+                )
+            rcode = response.rcode
+            if rcode == Rcode.NXDOMAIN:
+                self.cache.put(name, rtype, (), negative=True)
+                return (
+                    ResolutionOutcome(rcode=rcode, records=()),
+                    upstream,
+                )
+            if rcode != Rcode.NOERROR:
+                raise ResolutionError(
+                    "upstream rcode {} for {}".format(Rcode.to_text(rcode), name)
+                )
+            if response.answers:
+                return (
+                    ResolutionOutcome(
+                        rcode=Rcode.NOERROR, records=tuple(response.answers)
+                    ),
+                    upstream,
+                )
+            ns_records = [
+                record
+                for record in response.authority
+                if record.rtype == RRType.NS
+            ]
+            if not ns_records:
+                # NODATA: authoritative empty answer.
+                self.cache.put(name, rtype, (), negative=True)
+                return (
+                    ResolutionOutcome(rcode=Rcode.NOERROR, records=()),
+                    upstream,
+                )
+            # Referral: cache delegation + glue, descend.
+            zone_name = ns_records[0].name
+            self.cache.put(zone_name, RRType.NS, tuple(ns_records))
+            glue_by_name: Dict[DomainName, List[ResourceRecord]] = {}
+            for record in response.additional:
+                if record.rtype == RRType.A:
+                    glue_by_name.setdefault(record.name, []).append(record)
+            for glue_name, glue_records in glue_by_name.items():
+                self.cache.put(glue_name, RRType.A, tuple(glue_records))
+            addresses = [
+                record.rdata.address  # type: ignore[union-attr]
+                for records in glue_by_name.values()
+                for record in records
+            ]
+            if not addresses:
+                # Glueless delegation: resolve a nameserver address.
+                ns_target = ns_records[0].rdata.nsdname  # type: ignore[union-attr]
+                ns_outcome = yield from self.resolve(ns_target, RRType.A)
+                upstream += ns_outcome.upstream_queries
+                addresses = list(ns_outcome.addresses)
+                if not addresses:
+                    raise ResolutionError(
+                        "cannot resolve nameserver {}".format(ns_target)
+                    )
+            servers = addresses
+        raise ResolutionError("referral loop resolving {}".format(name))
+
+    def _query_server(self, server_ip: str, name: DomainName, rtype: int,
+                      client_subnet: Optional[ClientSubnet] = None):
+        """One upstream query with retries; returns (response|None, attempts).
+
+        Queries advertise EDNS(0); a TC=1 answer triggers the RFC 1035
+        TCP fallback against the same server.
+        """
+        attempts = 0
+        for _try in range(self.max_retries + 1):
+            attempts += 1
+            self.stats.upstream_queries += 1
+            ident = self.rng.randrange(0, 1 << 16)
+            query = Message.query(ident, name, rtype, rd=False)
+            query = attach_edns(query, DEFAULT_UDP_PAYLOAD, client_subnet)
+            wire = query.to_wire()
+            socket = self.host.udp_socket()
+            try:
+                socket.sendto(wire, len(wire), server_ip, DNS_PORT)
+                deadline = self.query_timeout_ms * (1.6 ** _try)
+                while True:
+                    try:
+                        datagram: Datagram = yield socket.recv(
+                            timeout_ms=deadline
+                        )
+                    except SocketTimeout:
+                        self.stats.timeouts += 1
+                        break
+                    try:
+                        response = Message.from_wire(datagram.payload)
+                    except Exception:
+                        continue
+                    if response.header.id != ident or not response.header.flags.qr:
+                        continue
+                    if response.header.flags.tc:
+                        tcp_response = yield from self._query_tcp(
+                            server_ip, query
+                        )
+                        if tcp_response is not None:
+                            return tcp_response, attempts
+                        break
+                    return response, attempts
+            finally:
+                socket.close()
+        return None, attempts
+
+    def _query_tcp(self, server_ip: str, query: Message):
+        """TC-bit fallback: repeat *query* over TCP (framed)."""
+        try:
+            conn = yield from self.host.open_tcp(server_ip, DNS_PORT)
+        except ConnectionRefused:
+            return None
+        try:
+            framed = frame_tcp_message(query)
+            conn.send(framed, len(framed))
+            try:
+                payload = yield conn.recv(timeout_ms=self.query_timeout_ms)
+            except (SocketTimeout, ConnectionClosed):
+                self.stats.timeouts += 1
+                return None
+            if not isinstance(payload, (bytes, bytearray)):
+                return None
+            try:
+                response, _rest = unframe_tcp_message(bytes(payload))
+            except TcpFramingError:
+                return None
+            if response.header.id != query.header.id:
+                return None
+            return response
+        finally:
+            conn.close()

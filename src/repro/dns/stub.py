@@ -1,0 +1,172 @@
+"""Client-side stub resolver (Do53 over UDP).
+
+This is the code path an exit node's operating system exercises when
+the BrightData Super Proxy asks it to fetch ``http://<UUID>.a.com/``:
+the stub sends a recursive query to the host's *default* resolver and
+waits.  The elapsed time of this call is precisely the paper's Do53
+measurement (the "DNS" value of the ``X-luminati-tun-timeline``
+header).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dns.edns import DEFAULT_UDP_PAYLOAD, attach_edns
+from repro.dns.message import Message, Rcode
+from repro.dns.name import DomainName
+from repro.dns.records import RRType
+from repro.dns.tcp import (
+    TcpFramingError,
+    frame_tcp_message,
+    unframe_tcp_message,
+)
+from repro.netsim.host import Host
+from repro.netsim.sockets import (
+    ConnectionClosed,
+    ConnectionRefused,
+    Datagram,
+    SocketTimeout,
+)
+
+__all__ = ["StubResolver", "StubAnswer", "StubError"]
+
+DNS_PORT = 53
+
+
+class StubError(Exception):
+    """The stub could not obtain an answer."""
+
+
+@dataclass(frozen=True)
+class StubAnswer:
+    """Outcome of one stub query."""
+
+    message: Message
+    elapsed_ms: float
+    attempts: int
+
+    @property
+    def addresses(self) -> Tuple[str, ...]:
+        return tuple(
+            record.rdata.address  # type: ignore[union-attr]
+            for record in self.message.answers
+            if record.rtype == RRType.A
+        )
+
+    @property
+    def rcode(self) -> int:
+        return self.message.rcode
+
+
+class StubResolver:
+    """Sends recursive queries to a configured resolver address."""
+
+    def __init__(
+        self,
+        host: Host,
+        resolver_ip: str,
+        rng: random.Random,
+        timeout_ms: float = 2500.0,
+        max_retries: int = 2,
+        resolver_port: int = DNS_PORT,
+    ) -> None:
+        self.host = host
+        self.resolver_ip = resolver_ip
+        self.resolver_port = resolver_port
+        self.rng = rng
+        self.timeout_ms = timeout_ms
+        self.max_retries = max_retries
+
+    def query(self, name: str, rtype: int = RRType.A):
+        """Resolve *name*; generator returning :class:`StubAnswer`.
+
+        Retries with backoff on timeout; raises :class:`StubError`
+        after the final attempt fails or on SERVFAIL.
+        """
+        qname = DomainName(name)
+        sim = self.host.network.sim
+        started = sim.now
+        attempts = 0
+        last_error: Optional[str] = None
+        for attempt in range(self.max_retries + 1):
+            attempts += 1
+            ident = self.rng.randrange(0, 1 << 16)
+            query = Message.query(ident, qname, rtype, rd=True)
+            query = attach_edns(query, DEFAULT_UDP_PAYLOAD)
+            wire = query.to_wire()
+            socket = self.host.udp_socket()
+            try:
+                socket.sendto(
+                    wire, len(wire), self.resolver_ip, self.resolver_port
+                )
+                deadline = self.timeout_ms * (1.5 ** attempt)
+                while True:
+                    try:
+                        datagram: Datagram = yield socket.recv(
+                            timeout_ms=deadline
+                        )
+                    except SocketTimeout:
+                        last_error = "timeout"
+                        break
+                    try:
+                        response = Message.from_wire(datagram.payload)
+                    except Exception:
+                        continue
+                    if (
+                        response.header.id != ident
+                        or not response.header.flags.qr
+                    ):
+                        continue
+                    if response.rcode == Rcode.SERVFAIL:
+                        raise StubError(
+                            "SERVFAIL from {} for {}".format(
+                                self.resolver_ip, qname
+                            )
+                        )
+                    if response.header.flags.tc:
+                        # RFC 1035: retry the query over TCP.
+                        tcp_response = yield from self._query_tcp(query)
+                        if tcp_response is None:
+                            last_error = "tcp fallback failed"
+                            break
+                        response = tcp_response
+                    return StubAnswer(
+                        message=response,
+                        elapsed_ms=sim.now - started,
+                        attempts=attempts,
+                    )
+            finally:
+                socket.close()
+        raise StubError(
+            "no answer from {} for {} ({})".format(
+                self.resolver_ip, qname, last_error
+            )
+        )
+
+    def _query_tcp(self, query: Message):
+        """TC-bit fallback: repeat *query* over TCP to the resolver."""
+        try:
+            conn = yield from self.host.open_tcp(
+                self.resolver_ip, self.resolver_port
+            )
+        except ConnectionRefused:
+            return None
+        try:
+            framed = frame_tcp_message(query)
+            conn.send(framed, len(framed))
+            try:
+                payload = yield conn.recv(timeout_ms=self.timeout_ms)
+            except (SocketTimeout, ConnectionClosed):
+                return None
+            if not isinstance(payload, (bytes, bytearray)):
+                return None
+            try:
+                response, _rest = unframe_tcp_message(bytes(payload))
+            except TcpFramingError:
+                return None
+            return response
+        finally:
+            conn.close()

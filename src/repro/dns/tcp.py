@@ -1,0 +1,48 @@
+"""DNS over TCP framing (RFC 1035 §4.2.2).
+
+TCP DNS messages carry a two-octet length prefix.  This is the
+truncation fallback path: when a UDP response exceeds the EDNS payload
+limit the server sets TC=1 and the client retries over TCP.  (DoT,
+RFC 7858, reuses exactly this framing over TLS —
+:mod:`repro.dot.framing` delegates here.)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.dns.message import Message, WireError
+
+__all__ = ["TcpFramingError", "frame_tcp_message", "unframe_tcp_message"]
+
+
+class TcpFramingError(ValueError):
+    """Malformed TCP DNS framing."""
+
+
+def frame_tcp_message(message: Message) -> bytes:
+    """Serialise *message* with the two-octet length prefix."""
+    wire = message.to_wire()
+    if len(wire) > 0xFFFF:
+        raise TcpFramingError("DNS message exceeds 65535 octets")
+    return struct.pack("!H", len(wire)) + wire
+
+
+def unframe_tcp_message(data: bytes) -> Tuple[Message, bytes]:
+    """Parse one framed message; returns (message, remaining bytes)."""
+    if len(data) < 2:
+        raise TcpFramingError("short read: no length prefix")
+    (length,) = struct.unpack_from("!H", data, 0)
+    end = 2 + length
+    if len(data) < end:
+        raise TcpFramingError(
+            "short read: framed length {} but {} available".format(
+                length, len(data) - 2
+            )
+        )
+    try:
+        message = Message.from_wire(data[2:end])
+    except WireError as exc:
+        raise TcpFramingError("bad DNS message inside frame") from exc
+    return message, data[end:]

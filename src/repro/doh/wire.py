@@ -1,0 +1,125 @@
+"""RFC 8484 DoH wire format.
+
+DoH carries standard DNS wire-format messages inside HTTP exchanges:
+
+* GET: the message travels base64url-encoded (unpadded) in the ``dns``
+  query parameter — this is what the paper's measurements use;
+* POST: the message is the request body with content type
+  ``application/dns-message``.
+
+Per RFC 8484 §4.1 the DNS ID SHOULD be 0 for cacheability; queries
+built here honour that and responses echo it.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Optional
+from urllib.parse import parse_qs, quote, urlsplit
+
+from repro.dns.message import Message
+from repro.http.message import HeaderBag, HttpRequest, HttpResponse, Status
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DohWireError",
+    "decode_query_from_request",
+    "encode_get_request",
+    "encode_post_request",
+    "encode_response",
+    "extract_message_from_response",
+]
+
+CONTENT_TYPE = "application/dns-message"
+DEFAULT_PATH = "/dns-query"
+
+
+class DohWireError(ValueError):
+    """Malformed DoH request or response."""
+
+
+def _b64url_encode(raw: bytes) -> str:
+    return base64.urlsafe_b64encode(raw).rstrip(b"=").decode("ascii")
+
+
+def _b64url_decode(text: str) -> bytes:
+    padding = "=" * (-len(text) % 4)
+    try:
+        return base64.urlsafe_b64decode(text + padding)
+    except Exception as exc:
+        raise DohWireError("bad base64url dns parameter") from exc
+
+
+def encode_get_request(
+    message: Message, host: str, path: str = DEFAULT_PATH
+) -> HttpRequest:
+    """Build the RFC 8484 GET request carrying *message*."""
+    wire = message.to_wire()
+    target = "{}?dns={}".format(path, quote(_b64url_encode(wire), safe=""))
+    headers = HeaderBag()
+    headers.set("Host", host)
+    headers.set("Accept", CONTENT_TYPE)
+    return HttpRequest(method="GET", target=target, headers=headers)
+
+
+def encode_post_request(
+    message: Message, host: str, path: str = DEFAULT_PATH
+) -> HttpRequest:
+    """Build the RFC 8484 POST request carrying *message*."""
+    headers = HeaderBag()
+    headers.set("Host", host)
+    headers.set("Accept", CONTENT_TYPE)
+    headers.set("Content-Type", CONTENT_TYPE)
+    return HttpRequest(
+        method="POST", target=path, headers=headers, body=message.to_wire()
+    )
+
+
+def decode_query_from_request(request: HttpRequest) -> Message:
+    """Extract the DNS query from a DoH GET or POST request."""
+    if request.method == "GET":
+        parsed = urlsplit(request.target)
+        params = parse_qs(parsed.query)
+        values = params.get("dns")
+        if not values:
+            raise DohWireError("missing dns parameter")
+        wire = _b64url_decode(values[0])
+    elif request.method == "POST":
+        if request.headers.get("Content-Type") != CONTENT_TYPE:
+            raise DohWireError(
+                "POST content type must be {}".format(CONTENT_TYPE)
+            )
+        wire = request.body
+    else:
+        raise DohWireError("unsupported method {!r}".format(request.method))
+    try:
+        return Message.from_wire(wire)
+    except Exception as exc:
+        raise DohWireError("bad DNS message in DoH request") from exc
+
+
+def encode_response(
+    message: Message, cacheable_ttl: Optional[int] = None
+) -> HttpResponse:
+    """Wrap a DNS response message in an HTTP 200."""
+    headers = HeaderBag()
+    headers.set("Content-Type", CONTENT_TYPE)
+    if cacheable_ttl is not None:
+        headers.set("Cache-Control", "max-age={}".format(cacheable_ttl))
+    return HttpResponse(status=Status.OK, headers=headers, body=message.to_wire())
+
+
+def extract_message_from_response(response: HttpResponse) -> Message:
+    """Extract the DNS message from a DoH HTTP response."""
+    if not response.ok:
+        raise DohWireError("DoH HTTP status {}".format(response.status))
+    if response.headers.get("Content-Type") != CONTENT_TYPE:
+        raise DohWireError(
+            "unexpected content type {!r}".format(
+                response.headers.get("Content-Type")
+            )
+        )
+    try:
+        return Message.from_wire(response.body)
+    except Exception as exc:
+        raise DohWireError("bad DNS message in DoH response") from exc

@@ -1,0 +1,26 @@
+"""DNS-over-TLS (RFC 7858) — an extension beyond the paper.
+
+The paper focuses on DoH but repeatedly compares against the DoT
+literature (Doan et al. 2021 measured DoT from RIPE Atlas probes and
+found the same provider ordering).  This package adds DoT to the same
+provider PoPs so the comparison can be reproduced inside one world:
+
+* :mod:`repro.dot.framing` — RFC 7858 §3.3 two-octet length framing,
+* :mod:`repro.dot.server` — a DoT front end colocated with each DoH PoP,
+* :mod:`repro.dot.client` — direct DoT resolution with the same timing
+  decomposition as :func:`repro.doh.client.resolve_direct`.
+"""
+
+from repro.dot.framing import frame_message, unframe_message
+from repro.dot.client import DotSession, DirectDotTiming, resolve_dot
+from repro.dot.server import DOT_PORT, attach_dot_listeners
+
+__all__ = [
+    "DOT_PORT",
+    "DirectDotTiming",
+    "DotSession",
+    "attach_dot_listeners",
+    "frame_message",
+    "resolve_dot",
+    "unframe_message",
+]

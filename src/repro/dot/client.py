@@ -1,0 +1,108 @@
+"""DoT client: direct resolution with the DoH-compatible timing split.
+
+Mirrors :func:`repro.doh.client.resolve_direct` so experiments can put
+DoT and DoH timings side by side: resolve the provider name with the
+local stub, TCP to port 853, TLS handshake, then framed queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dns.message import Message
+from repro.dns.name import DomainName
+from repro.dns.records import RRType
+from repro.dns.stub import StubResolver
+from repro.dot.framing import FramingError, frame_message, unframe_message
+from repro.netsim.host import Host
+from repro.tls.handshake import TlsVersion, client_handshake
+from repro.tls.session import TlsConnection
+
+__all__ = ["DirectDotTiming", "DotSession", "resolve_dot"]
+
+DOT_PORT = 853
+
+
+@dataclass(frozen=True)
+class DirectDotTiming:
+    """Decomposition of one direct DoT resolution (cf. Equation 1)."""
+
+    dns_ms: float
+    tcp_ms: float
+    tls_ms: float
+    query_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.dns_ms + self.tcp_ms + self.tls_ms + self.query_ms
+
+
+@dataclass
+class DotSession:
+    """An established DoT session available for connection reuse."""
+
+    host: Host
+    stream: TlsConnection
+
+    def query(self, qname: str, qtype: int = RRType.A,
+              timeout_ms: Optional[float] = None):
+        """Reused-connection DoT query; generator → (Message, ms)."""
+        sim = self.host.network.sim
+        message = Message.query(0, DomainName(qname), qtype)
+        framed = frame_message(message)
+        started = sim.now
+        self.stream.send(framed, len(framed))
+        payload = yield self.stream.recv(timeout_ms=timeout_ms)
+        if not isinstance(payload, (bytes, bytearray)):
+            raise FramingError("non-DoT payload on DoT stream")
+        answer, _rest = unframe_message(bytes(payload))
+        return answer, sim.now - started
+
+    def close(self) -> None:
+        """Tear down the TLS session and connection."""
+        self.stream.close()
+
+
+def resolve_dot(
+    host: Host,
+    stub: StubResolver,
+    domain: str,
+    qname: str,
+    qtype: int = RRType.A,
+    tls_version: str = TlsVersion.TLS13,
+    crypto_ms: float = 0.6,
+    service_ip: Optional[str] = None,
+):
+    """Full DoT resolution at *host*; generator → (timing, answer, session)."""
+    sim = host.network.sim
+
+    t0 = sim.now
+    if service_ip is None:
+        stub_answer = yield from stub.query(domain, RRType.A)
+        addresses = stub_answer.addresses
+        if not addresses:
+            raise RuntimeError("no A records for {}".format(domain))
+        service_ip = addresses[0]
+    dns_ms = sim.now - t0
+
+    t1 = sim.now
+    conn = yield from host.open_tcp(service_ip, DOT_PORT)
+    tcp_ms = sim.now - t1
+
+    t2 = sim.now
+    handshake = yield from client_handshake(
+        conn, sni=domain, version=tls_version, crypto_ms=crypto_ms
+    )
+    tls_ms = sim.now - t2
+    stream = TlsConnection(conn, handshake, is_client=True)
+    session = DotSession(host=host, stream=stream)
+
+    t3 = sim.now
+    answer, _elapsed = yield from session.query(qname, qtype)
+    query_ms = sim.now - t3
+
+    timing = DirectDotTiming(
+        dns_ms=dns_ms, tcp_ms=tcp_ms, tls_ms=tls_ms, query_ms=query_ms
+    )
+    return timing, answer, session

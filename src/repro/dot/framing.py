@@ -1,0 +1,32 @@
+"""RFC 7858 §3.3 message framing.
+
+DoT reuses the DNS-over-TCP framing of RFC 1035 §4.2.2 (two-octet
+big-endian length prefix) over a TLS stream; this module delegates to
+:mod:`repro.dns.tcp` and keeps the DoT-flavoured names and error type.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.dns.message import Message
+from repro.dns.tcp import (
+    TcpFramingError,
+    frame_tcp_message,
+    unframe_tcp_message,
+)
+
+__all__ = ["frame_message", "unframe_message", "FramingError"]
+
+#: DoT framing errors are TCP framing errors.
+FramingError = TcpFramingError
+
+
+def frame_message(message: Message) -> bytes:
+    """Serialise *message* with the RFC 7858 length prefix."""
+    return frame_tcp_message(message)
+
+
+def unframe_message(data: bytes) -> Tuple[Message, bytes]:
+    """Parse one framed message; returns (message, remaining bytes)."""
+    return unframe_tcp_message(data)

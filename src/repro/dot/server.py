@@ -1,0 +1,86 @@
+"""DoT front ends colocated with DoH PoPs.
+
+Each provider PoP can additionally serve RFC 7858 on port 853, backed
+by the *same* recursive resolver as its DoH front end — which is how
+the real providers deploy it, and what makes a DoT-vs-DoH comparison
+isolate the transport difference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dns.message import Rcode
+from repro.dns.recursive import ResolutionError
+from repro.doh.provider import DohPop, DohProvider
+from repro.dot.framing import FramingError, frame_message, unframe_message
+from repro.netsim.sockets import ConnectionClosed, TcpConnection
+from repro.tls.handshake import server_handshake
+from repro.tls.session import TlsConnection
+
+__all__ = ["DOT_PORT", "attach_dot_listeners"]
+
+DOT_PORT = 853
+
+
+def _dot_handler(provider: DohProvider, pop: DohPop):
+    """Connection handler: TLS, then framed DNS queries until close."""
+
+    def handler(conn: TcpConnection):
+        try:
+            result = yield from server_handshake(
+                conn, crypto_ms=provider.config.tls_crypto_ms
+            )
+        except Exception:
+            conn.close()
+            return
+        stream = TlsConnection(conn, result, is_client=False)
+        while True:
+            try:
+                payload = yield stream.recv()
+            except ConnectionClosed:
+                return
+            if not isinstance(payload, (bytes, bytearray)):
+                conn.close()
+                return
+            try:
+                query, _rest = unframe_message(bytes(payload))
+            except FramingError:
+                conn.close()
+                return
+            if provider.config.frontend_ms > 0:
+                yield pop.host.busy(provider.config.frontend_ms)
+            if provider.config.backend_ms > 0:
+                yield pop.host.busy(provider.config.backend_ms)
+            question = query.question
+            try:
+                outcome = yield from pop.resolver.resolve(
+                    question.name, question.qtype
+                )
+                answer = query.respond(
+                    outcome.rcode, answers=outcome.records, ra=True
+                )
+            except ResolutionError:
+                answer = query.respond(Rcode.SERVFAIL, ra=True)
+            pop.queries_served += 1
+            framed = frame_message(answer)
+            try:
+                stream.send(framed, len(framed))
+            except ConnectionClosed:
+                return
+
+    return handler
+
+
+def attach_dot_listeners(provider: DohProvider,
+                         port: int = DOT_PORT) -> int:
+    """Start a DoT listener on every PoP of *provider*.
+
+    Returns the number of listeners started.  Idempotent per port: a
+    second call raises (the port is already bound).
+    """
+    count = 0
+    for pop in provider.pops:
+        pop.host.listen_tcp(port, _dot_handler(provider, pop))
+        count += 1
+    return count

@@ -1,0 +1,66 @@
+"""Geodesic coordinate helpers.
+
+The paper geolocates clients and resolvers with Maxmind and compares
+geodesic distances (e.g. the "potential improvement" metric of
+Figure 6, reported in miles).  We use the haversine great-circle
+distance, which is accurate to ~0.5% — far below the noise of /24-based
+geolocation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "KM_PER_MILE",
+    "LatLon",
+    "geodesic_km",
+    "geodesic_miles",
+]
+
+EARTH_RADIUS_KM = 6371.0088
+KM_PER_MILE = 1.609344
+
+
+@dataclass(frozen=True)
+class LatLon:
+    """A point on the Earth's surface in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError("latitude out of range: {}".format(self.lat))
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError("longitude out of range: {}".format(self.lon))
+
+    def distance_km(self, other: "LatLon") -> float:
+        """Great-circle distance to *other* in kilometres."""
+        return geodesic_km(self, other)
+
+    def distance_miles(self, other: "LatLon") -> float:
+        """Great-circle distance to *other* in statute miles."""
+        return geodesic_miles(self, other)
+
+
+def geodesic_km(a: LatLon, b: LatLon) -> float:
+    """Haversine great-circle distance between *a* and *b* in km."""
+    lat1 = math.radians(a.lat)
+    lat2 = math.radians(b.lat)
+    dlat = lat2 - lat1
+    dlon = math.radians(b.lon - a.lon)
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    # Clamp for floating error on antipodal points.
+    h = min(1.0, max(0.0, h))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def geodesic_miles(a: LatLon, b: LatLon) -> float:
+    """Haversine great-circle distance between *a* and *b* in miles."""
+    return geodesic_km(a, b) / KM_PER_MILE

@@ -1,0 +1,94 @@
+"""A Maxmind-like /24 geolocation service.
+
+The paper cross-checks the country BrightData claims for each exit node
+against a Maxmind lookup on the node's /24 prefix and discards
+mismatches (0.88% of data points).  This module provides the same
+interface: register /24 prefixes with their true country and location,
+then resolve addresses back, optionally with a small database error
+rate to exercise the discard path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.geo.coords import LatLon
+from repro.geo.countries import COUNTRIES
+from repro.geo.ipalloc import parse_ipv4
+
+__all__ = ["GeolocationService", "GeoRecord"]
+
+
+@dataclass(frozen=True)
+class GeoRecord:
+    """A geolocation answer: country plus approximate coordinates."""
+
+    country_code: str
+    location: LatLon
+
+
+class GeolocationService:
+    """Maps /24 prefixes to countries and approximate coordinates.
+
+    ``error_rate`` introduces deterministic per-prefix database errors
+    (a stand-in for real-world Maxmind inaccuracy): an "erroneous"
+    prefix resolves to a different country chosen by hash.  The rate
+    defaults to zero; the measurement-campaign tests enable it to
+    exercise the mismatch-discard code path.
+    """
+
+    def __init__(self, error_rate: float = 0.0) -> None:
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        self.error_rate = error_rate
+        self._records: Dict[int, GeoRecord] = {}
+
+    def register(self, address: str, country_code: str, location: LatLon) -> None:
+        """Record that *address*'s /24 belongs to *country_code*."""
+        code = country_code.upper()
+        if code not in COUNTRIES:
+            raise KeyError("unknown country code: {!r}".format(code))
+        prefix = parse_ipv4(address) & 0xFFFFFF00
+        self._records[prefix] = GeoRecord(country_code=code, location=location)
+
+    def lookup(self, address: str) -> Optional[GeoRecord]:
+        """Geolocate *address* by its /24 prefix.
+
+        Returns None for unknown prefixes.  With a nonzero error rate,
+        a deterministic subset of prefixes resolve to a wrong country.
+        """
+        prefix = parse_ipv4(address) & 0xFFFFFF00
+        record = self._records.get(prefix)
+        if record is None:
+            return None
+        if self.error_rate > 0.0 and self._is_erroneous(prefix):
+            return self._wrong_answer(prefix, record)
+        return record
+
+    def lookup_country(self, address: str) -> Optional[str]:
+        """Country code for *address*, or None if unknown."""
+        record = self.lookup(address)
+        return record.country_code if record else None
+
+    # -- deterministic error model --------------------------------------
+
+    def _hash01(self, prefix: int, salt: str) -> float:
+        digest = hashlib.sha256(
+            "{}:{}".format(salt, prefix).encode("ascii")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def _is_erroneous(self, prefix: int) -> bool:
+        return self._hash01(prefix, "geo-error") < self.error_rate
+
+    def _wrong_answer(self, prefix: int, record: GeoRecord) -> GeoRecord:
+        codes = sorted(COUNTRIES)
+        index = int(self._hash01(prefix, "geo-pick") * len(codes))
+        wrong = codes[min(index, len(codes) - 1)]
+        if wrong == record.country_code:
+            wrong = codes[(index + 1) % len(codes)]
+        return GeoRecord(
+            country_code=wrong, location=COUNTRIES[wrong].location
+        )

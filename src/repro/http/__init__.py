@@ -1,0 +1,28 @@
+"""HTTP/1.1 substrate: messages, client, server.
+
+DoH (RFC 8484) runs over HTTPS, and the BrightData Super Proxy speaks
+HTTP CONNECT with custom timing headers — both are built on this
+package.  Messages serialise to real HTTP/1.1 bytes (start line,
+headers, body), which is what the latency model charges for.
+"""
+
+from repro.http.message import (
+    HeaderBag,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    Status,
+)
+from repro.http.client import HttpClient, request_over
+from repro.http.server import HttpServer
+
+__all__ = [
+    "HeaderBag",
+    "HttpClient",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "Status",
+    "request_over",
+]

@@ -1,0 +1,69 @@
+"""HTTP client over simulated TCP or TLS streams.
+
+Both :class:`repro.netsim.sockets.TcpConnection` and
+:class:`repro.tls.session.TlsConnection` expose the same
+``send``/``recv`` surface, so one client serves plain HTTP, HTTPS and
+tunnelled traffic alike.  Requests and responses travel as parsed
+objects but are charged their true serialised sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.http.message import HttpError, HttpRequest, HttpResponse
+from repro.netsim.sockets import TcpConnection
+from repro.tls.session import TlsConnection
+
+__all__ = ["HttpClient", "request_over"]
+
+Stream = Union[TcpConnection, TlsConnection]
+
+
+def request_over(stream: Stream, request: HttpRequest,
+                 timeout_ms: Optional[float] = None):
+    """Send *request* on *stream*, await the response (generator).
+
+    Returns the :class:`HttpResponse`.  Raises
+    :class:`~repro.http.message.HttpError` if the peer sends something
+    that is not a response.
+    """
+    stream.send(request, request.wire_size())
+    reply = yield stream.recv(timeout_ms=timeout_ms)
+    if not isinstance(reply, HttpResponse):
+        raise HttpError("expected HttpResponse, got {!r}".format(type(reply)))
+    return reply
+
+
+class HttpClient:
+    """A persistent-connection HTTP client bound to one stream."""
+
+    def __init__(self, stream: Stream,
+                 default_timeout_ms: Optional[float] = None) -> None:
+        self.stream = stream
+        self.default_timeout_ms = default_timeout_ms
+        self.requests_sent = 0
+
+    def request(self, request: HttpRequest,
+                timeout_ms: Optional[float] = None):
+        """Issue one request; generator returning the response."""
+        self.requests_sent += 1
+        response = yield from request_over(
+            self.stream,
+            request,
+            timeout_ms=timeout_ms or self.default_timeout_ms,
+        )
+        return response
+
+    def get(self, target: str, host: str = "",
+            timeout_ms: Optional[float] = None):
+        """Convenience GET; generator returning the response."""
+        request = HttpRequest(method="GET", target=target)
+        if host:
+            request.headers.set("Host", host)
+        response = yield from self.request(request, timeout_ms=timeout_ms)
+        return response
+
+    def close(self) -> None:
+        """Close the underlying stream."""
+        self.stream.close()

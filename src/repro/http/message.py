@@ -1,0 +1,209 @@
+"""HTTP/1.1 message model with real serialisation and parsing.
+
+Requests and responses round-trip through actual HTTP/1.1 bytes so the
+simulated wire carries authentic sizes, and so header-dependent logic
+(the BrightData ``X-luminati-*`` timing headers, DoH content types) is
+exercised against a real parser rather than dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["HeaderBag", "HttpError", "HttpRequest", "HttpResponse", "Status"]
+
+_CRLF = "\r\n"
+
+
+class HttpError(ValueError):
+    """Malformed HTTP data."""
+
+
+class Status:
+    """Status codes the reproduction uses."""
+
+    OK = 200
+    BAD_REQUEST = 400
+    FORBIDDEN = 403
+    NOT_FOUND = 404
+    REQUEST_TIMEOUT = 408
+    BAD_GATEWAY = 502
+    GATEWAY_TIMEOUT = 504
+
+    REASONS = {
+        200: "OK",
+        400: "Bad Request",
+        403: "Forbidden",
+        404: "Not Found",
+        408: "Request Timeout",
+        502: "Bad Gateway",
+        504: "Gateway Timeout",
+    }
+
+    @classmethod
+    def reason(cls, code: int) -> str:
+        return cls.REASONS.get(code, "Unknown")
+
+
+class HeaderBag:
+    """Case-insensitive, order-preserving header collection."""
+
+    def __init__(self, items: Optional[List[Tuple[str, str]]] = None) -> None:
+        self._items: List[Tuple[str, str]] = []
+        if items:
+            for name, value in items:
+                self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        """Append a header (CRLF injection rejected)."""
+        if "\r" in name or "\n" in name or "\r" in value or "\n" in value:
+            raise HttpError("CRLF in header")
+        self._items.append((name, str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all values of *name* with one."""
+        self.remove(name)
+        self.add(name, value)
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First value of *name*, or *default*."""
+        lowered = name.lower()
+        for key, value in self._items:
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> List[str]:
+        """Every value of *name*, in order."""
+        lowered = name.lower()
+        return [value for key, value in self._items if key.lower() == lowered]
+
+    def remove(self, name: str) -> None:
+        """Drop all values of *name*."""
+        lowered = name.lower()
+        self._items = [
+            (key, value) for key, value in self._items if key.lower() != lowered
+        ]
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def copy(self) -> "HeaderBag":
+        """An independent copy of the bag."""
+        return HeaderBag(list(self._items))
+
+    def serialize(self) -> str:
+        """The header block as CRLF-terminated lines."""
+        return "".join(
+            "{}: {}{}".format(name, value, _CRLF) for name, value in self._items
+        )
+
+    @classmethod
+    def parse(cls, lines: List[str]) -> "HeaderBag":
+        bag = cls()
+        for line in lines:
+            if ":" not in line:
+                raise HttpError("malformed header line: {!r}".format(line))
+            name, _, value = line.partition(":")
+            bag.add(name.strip(), value.strip())
+        return bag
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP/1.1 request."""
+
+    method: str
+    target: str
+    headers: HeaderBag = field(default_factory=HeaderBag)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def __post_init__(self) -> None:
+        if self.body and "content-length" not in self.headers:
+            self.headers.set("Content-Length", str(len(self.body)))
+
+    @property
+    def host(self) -> Optional[str]:
+        return self.headers.get("Host")
+
+    def to_bytes(self) -> bytes:
+        """Serialise to HTTP/1.1 wire bytes."""
+        start = "{} {} {}{}".format(self.method, self.target, self.version, _CRLF)
+        return (start + self.headers.serialize() + _CRLF).encode() + self.body
+
+    def wire_size(self) -> int:
+        """Serialised size in bytes (what the fabric charges)."""
+        return len(self.to_bytes())
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "HttpRequest":
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode(errors="replace").split(_CRLF)
+        if not lines or not lines[0]:
+            raise HttpError("empty request")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise HttpError("malformed request line: {!r}".format(lines[0]))
+        method, target, version = parts
+        headers = HeaderBag.parse([line for line in lines[1:] if line])
+        return cls(
+            method=method,
+            target=target,
+            headers=headers,
+            body=body,
+            version=version,
+        )
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP/1.1 response."""
+
+    status: int
+    headers: HeaderBag = field(default_factory=HeaderBag)
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    def __post_init__(self) -> None:
+        if self.body and "content-length" not in self.headers:
+            self.headers.set("Content-Length", str(len(self.body)))
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def to_bytes(self) -> bytes:
+        """Serialise to HTTP/1.1 wire bytes."""
+        start = "{} {} {}{}".format(
+            self.version, self.status, Status.reason(self.status), _CRLF
+        )
+        return (start + self.headers.serialize() + _CRLF).encode() + self.body
+
+    def wire_size(self) -> int:
+        """Serialised size in bytes (what the fabric charges)."""
+        return len(self.to_bytes())
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "HttpResponse":
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode(errors="replace").split(_CRLF)
+        if not lines or not lines[0]:
+            raise HttpError("empty response")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2:
+            raise HttpError("malformed status line: {!r}".format(lines[0]))
+        version = parts[0]
+        try:
+            status = int(parts[1])
+        except ValueError:
+            raise HttpError("bad status code: {!r}".format(parts[1])) from None
+        headers = HeaderBag.parse([line for line in lines[1:] if line])
+        return cls(status=status, headers=headers, body=body, version=version)

@@ -1,0 +1,281 @@
+"""Event loop, events and processes for the network simulator.
+
+The engine is a small, deterministic discrete-event kernel in the style
+of SimPy.  Simulation *processes* are Python generators that yield
+:class:`Event` objects; the process is suspended until the event
+triggers and is resumed with the event's value (or has the event's
+exception thrown into it).  Time is a float in **milliseconds**.
+
+The kernel is deliberately strict: running past the last event simply
+stops, events may only be triggered once, and scheduling in the past is
+an error.  All behaviour is deterministic given the initial seed of the
+random sources used by higher layers (the kernel itself uses no
+randomness).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Event",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+    "first_of",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double trigger, time travel...)."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; it is later either :meth:`succeed`-ed
+    with a value or :meth:`fail`-ed with an exception.  Callbacks added
+    with :meth:`add_callback` run, in insertion order, when the event
+    triggers.  Waiting processes are resumed through such callbacks.
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "ok", "value", "exception")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.ok = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register *callback*; runs immediately if already triggered."""
+        if self.triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        self._trigger(True, value, None)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(False, None, exception)
+        return self
+
+    def _trigger(
+        self, ok: bool, value: Any, exception: Optional[BaseException]
+    ) -> None:
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.ok = ok
+        self.value = value
+        self.exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self.ok else "failed"
+        return "<{} {}>".format(type(self).__name__, state)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError("negative timeout: {!r}".format(delay))
+        super().__init__(sim)
+        self.delay = float(delay)
+        sim.schedule(delay, lambda: self.succeed(value))
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an :class:`Event` that triggers when the
+    generator returns (with the returned value) or raises (with the
+    exception), so processes can wait on each other.
+    """
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(
+        self, sim: "Simulator", generator: ProcessGenerator, name: str = ""
+    ) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError("spawn() requires a generator, got {!r}".format(generator))
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Start the process on the next kernel step at the current time so
+        # that spawning never runs user code re-entrantly.
+        sim.schedule(0.0, lambda: self._resume(None, None))
+
+    def interrupt(self, cause: str = "interrupted") -> None:
+        """Throw :class:`ProcessInterrupt` into the process."""
+        if not self.triggered:
+            self.sim.schedule(0.0, lambda: self._resume(None, ProcessInterrupt(cause)))
+
+    def _resume(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        try:
+            if exception is not None:
+                target = self._generator.throw(exception)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessInterrupt as exc:
+            self.fail(exc)
+            return
+        except Exception as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(
+                SimulationError(
+                    "process {!r} yielded {!r}; processes must yield "
+                    "Event objects".format(self.name, target)
+                )
+            )
+            return
+        target.add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            self._resume(None, event.exception)
+
+
+class ProcessInterrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called."""
+
+
+class Simulator:
+    """The discrete-event kernel.
+
+    >>> sim = Simulator()
+    >>> def ping():
+    ...     yield sim.timeout(5.0)
+    ...     return sim.now
+    >>> proc = sim.spawn(ping())
+    >>> sim.run()
+    >>> proc.value
+    5.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run *callback* after *delay* milliseconds of simulated time."""
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past ({})".format(delay))
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after *delay* milliseconds."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process running *generator*."""
+        return Process(self, generator, name=name)
+
+    # -- execution -----------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next scheduled callback. Returns False when idle."""
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        if time < self.now:
+            raise SimulationError("event queue corrupted: time moved backwards")
+        self.now = time
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains or *until* is reached."""
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    self.now = until
+                    return
+                self.step()
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
+        """Spawn *generator*, run to completion and return its result.
+
+        Convenience wrapper used pervasively by tests and the
+        measurement harness.  Raises the process's exception if it
+        failed.
+        """
+        process = self.spawn(generator, name=name)
+        self.run()
+        if not process.triggered:
+            raise SimulationError(
+                "process {!r} did not finish (deadlock?)".format(process.name)
+            )
+        if not process.ok:
+            raise process.exception  # type: ignore[misc]
+        return process.value
+
+
+def first_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event that mirrors whichever of *events* triggers first.
+
+    Used for timeout-or-response patterns (e.g. UDP retransmission).
+    The resulting event succeeds with ``(index, value)`` of the winner,
+    or fails with the winner's exception.
+    """
+    outcome = sim.event()
+    for index, event in enumerate(events):
+
+        def relay(ev: Event, index: int = index) -> None:
+            if outcome.triggered:
+                return
+            if ev.ok:
+                outcome.succeed((index, ev.value))
+            else:
+                outcome.fail(ev.exception)  # type: ignore[arg-type]
+
+        event.add_callback(relay)
+    return outcome

@@ -1,0 +1,147 @@
+"""Hosts: addressable endpoints with socket APIs.
+
+A :class:`Host` couples an IP address with a :class:`SiteProfile` (the
+latency-relevant properties of its network attachment) and exposes the
+socket primitives the protocol stacks are written against:
+
+* :meth:`Host.udp_socket` — datagram sockets (DNS over UDP),
+* :meth:`Host.listen_tcp` / :meth:`Host.open_tcp` — stream connections
+  (HTTP, TLS, DoH),
+* :meth:`Host.busy` — CPU/processing delays (server-side handling time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.geo.coords import LatLon
+from repro.netsim.engine import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.network import Network
+    from repro.netsim.sockets import TcpConnection, TcpListener, UdpSocket
+
+__all__ = ["Host", "SiteProfile"]
+
+
+@dataclass(frozen=True)
+class SiteProfile:
+    """Latency-relevant properties of a host's network attachment."""
+
+    location: LatLon
+    country_code: str
+    #: Median one-way last-mile latency, ms (sub-ms for datacenters).
+    last_mile_ms: float
+    #: Access bandwidth used for serialisation delay, Mbps.
+    bandwidth_mbps: float
+    #: Routing circuity multiplier on great-circle propagation (>= 1).
+    path_stretch: float
+    #: Scale of the lognormal queueing jitter (1.0 = well-provisioned).
+    jitter_scale: float = 1.0
+    #: Per-transmission loss probability contributed by this endpoint.
+    loss_rate: float = 0.0
+    #: Surcharge applied to international messages, ms (transit detours).
+    intl_extra_ms: float = 0.0
+    #: Datacenter endpoints skip residential access jitter.
+    datacenter: bool = False
+
+    def __post_init__(self) -> None:
+        if self.last_mile_ms < 0:
+            raise ValueError("last_mile_ms must be non-negative")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+        if self.path_stretch < 1.0:
+            raise ValueError("path_stretch must be >= 1")
+        if not 0.0 <= self.loss_rate < 0.5:
+            raise ValueError("loss_rate must be in [0, 0.5)")
+
+    @staticmethod
+    def datacenter_site(
+        location: LatLon, country_code: str, path_stretch: float = 1.2
+    ) -> "SiteProfile":
+        """A well-connected datacenter attachment."""
+        return SiteProfile(
+            location=location,
+            country_code=country_code,
+            last_mile_ms=0.15,
+            bandwidth_mbps=10000.0,
+            path_stretch=path_stretch,
+            jitter_scale=0.3,
+            loss_rate=0.0005,
+            intl_extra_ms=0.0,
+            datacenter=True,
+        )
+
+
+@dataclass
+class Host:
+    """An addressable endpoint attached to a :class:`Network`."""
+
+    name: str
+    ip: str
+    site: SiteProfile
+    network: "Network" = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self._next_ephemeral = 49152
+
+    # -- identity --------------------------------------------------------
+
+    @property
+    def country_code(self) -> str:
+        return self.site.country_code
+
+    @property
+    def location(self) -> LatLon:
+        return self.site.location
+
+    def ephemeral_port(self) -> int:
+        """Vend the next ephemeral port number."""
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral > 65535:
+            self._next_ephemeral = 49152
+        return port
+
+    # -- socket API --------------------------------------------------------
+
+    def udp_socket(self, port: int = 0) -> "UdpSocket":
+        """Open a UDP socket, binding *port* (0 picks an ephemeral one)."""
+        from repro.netsim.sockets import UdpSocket
+
+        if port == 0:
+            port = self.ephemeral_port()
+        return UdpSocket(self, port)
+
+    def listen_tcp(
+        self, port: int, handler: Callable[["TcpConnection"], object]
+    ) -> "TcpListener":
+        """Listen for TCP connections on *port*.
+
+        *handler* is called with each accepted :class:`TcpConnection`
+        and must return a generator, which is spawned as a process.
+        """
+        from repro.netsim.sockets import TcpListener
+
+        return TcpListener(self, port, handler)
+
+    def open_tcp(self, dst_ip: str, dst_port: int):
+        """Open a TCP connection (generator; use with ``yield from``).
+
+        Performs the three-way handshake with individually sampled
+        one-way delays and returns an established
+        :class:`TcpConnection`.  The connection records the measured
+        handshake duration, which higher layers (the BrightData exit
+        node) report in timing headers.
+        """
+        from repro.netsim.sockets import open_tcp
+
+        return open_tcp(self, dst_ip, dst_port)
+
+    def busy(self, duration_ms: float) -> Timeout:
+        """An event representing *duration_ms* of local processing."""
+        return self.network.sim.timeout(max(0.0, duration_ms))
+
+    def __hash__(self) -> int:
+        return hash(self.ip)

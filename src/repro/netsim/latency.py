@@ -1,0 +1,149 @@
+"""Geography-aware one-way delay model.
+
+Every message delivery in the simulator samples a one-way delay that
+decomposes the same way real Internet paths do:
+
+``delay = access(src) + access(dst) + serialisation + propagation * stretch
+          + queueing jitter + international transit extras``
+
+* *access* is the last-mile latency of a residential endpoint (DSL,
+  cable, congested wireless); datacenter endpoints contribute a fixed
+  sub-millisecond hop.
+* *serialisation* is message size over the endpoint's access bandwidth —
+  this is where nationwide bandwidth (one of the paper's Section 6
+  covariates) bites directly.
+* *propagation* is great-circle distance over the speed of light in
+  fibre, inflated by a per-site *path stretch* factor modelling routing
+  circuity (poorly connected countries detour through remote exchange
+  points, a well-documented effect that the paper's "number of ASes"
+  covariate proxies).
+* *queueing jitter* is a lognormal per-hop term.
+* international messages pay each endpoint's *international transit*
+  surcharge (satellite/submarine-cable detours for low-infrastructure
+  countries).
+
+Message loss is sampled per transmission; the transport layer decides
+what a loss costs (UDP retry timers, TCP retransmission timeouts).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from repro.geo.coords import geodesic_km
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.host import SiteProfile
+
+__all__ = ["LatencyModel", "LatencyParams"]
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    """Global tunables of the delay model (calibrated empirically)."""
+
+    #: Speed of light in fibre, km per millisecond (~2/3 c).
+    fiber_km_per_ms: float = 200.0
+    #: Fixed per-message forwarding overhead (NIC/kernel/router), ms.
+    per_hop_overhead_ms: float = 0.35
+    #: Median of the lognormal queueing term for a 1.0 jitter scale, ms.
+    queueing_median_ms: float = 0.8
+    #: Sigma of the lognormal queueing term.
+    queueing_sigma: float = 0.85
+    #: Sigma of the multiplicative lognormal on residential access delay.
+    access_sigma: float = 0.45
+    #: Floor applied to any sampled one-way delay, ms.
+    min_delay_ms: float = 0.05
+
+
+class LatencyModel:
+    """Samples one-way delays between two sites.
+
+    The model is purely functional over ``(src, dst, nbytes, rng)`` so a
+    seeded :class:`random.Random` gives fully reproducible runs.
+    """
+
+    def __init__(self, params: LatencyParams = LatencyParams()) -> None:
+        self.params = params
+
+    # -- components -----------------------------------------------------
+
+    def propagation_ms(self, src: "SiteProfile", dst: "SiteProfile") -> float:
+        """Deterministic propagation component (no jitter)."""
+        distance = geodesic_km(src.location, dst.location)
+        stretch = 0.5 * (src.path_stretch + dst.path_stretch)
+        return (distance / self.params.fiber_km_per_ms) * stretch
+
+    def serialization_ms(self, site: "SiteProfile", nbytes: int) -> float:
+        """Time to clock *nbytes* through *site*'s access link."""
+        if site.bandwidth_mbps <= 0:
+            raise ValueError("site bandwidth must be positive")
+        bits = nbytes * 8.0
+        return bits / (site.bandwidth_mbps * 1000.0)
+
+    def _access_ms(self, site: "SiteProfile", rng: random.Random) -> float:
+        if site.datacenter:
+            return site.last_mile_ms
+        factor = rng.lognormvariate(0.0, self.params.access_sigma)
+        return site.last_mile_ms * factor
+
+    def _queueing_ms(self, src: "SiteProfile", dst: "SiteProfile",
+                     rng: random.Random) -> float:
+        scale = max(src.jitter_scale, dst.jitter_scale)
+        mu = math.log(self.params.queueing_median_ms * max(scale, 1e-6))
+        return rng.lognormvariate(mu, self.params.queueing_sigma)
+
+    def _transit_extra_ms(self, src: "SiteProfile", dst: "SiteProfile") -> float:
+        if src.country_code == dst.country_code:
+            return 0.0
+        return src.intl_extra_ms + dst.intl_extra_ms
+
+    # -- sampling ---------------------------------------------------------
+
+    def one_way_ms(
+        self,
+        src: "SiteProfile",
+        dst: "SiteProfile",
+        nbytes: int,
+        rng: random.Random,
+    ) -> float:
+        """Sample a one-way delay for a message of *nbytes*."""
+        delay = (
+            self.params.per_hop_overhead_ms
+            + self._access_ms(src, rng)
+            + self._access_ms(dst, rng)
+            + self.serialization_ms(src, nbytes)
+            + self.serialization_ms(dst, nbytes)
+            + self.propagation_ms(src, dst)
+            + self._queueing_ms(src, dst, rng)
+            + self._transit_extra_ms(src, dst)
+        )
+        return max(delay, self.params.min_delay_ms)
+
+    def loss(
+        self, src: "SiteProfile", dst: "SiteProfile", rng: random.Random
+    ) -> bool:
+        """Sample whether a single transmission is lost."""
+        probability = src.loss_rate + dst.loss_rate
+        return rng.random() < probability
+
+    def expected_rtt_ms(
+        self, src: "SiteProfile", dst: "SiteProfile", nbytes: int = 100
+    ) -> float:
+        """Jitter-free round-trip estimate (used for RTO seeding)."""
+        base = (
+            2.0 * self.params.per_hop_overhead_ms
+            + 2.0 * (src.last_mile_ms + dst.last_mile_ms)
+            + 2.0 * self.propagation_ms(src, dst)
+            + self.serialization_ms(src, nbytes)
+            + self.serialization_ms(dst, nbytes)
+        )
+        return base + self._transit_extra_static(src, dst)
+
+    def _transit_extra_static(
+        self, src: "SiteProfile", dst: "SiteProfile"
+    ) -> float:
+        return 2.0 * self._transit_extra_ms(src, dst)

@@ -1,0 +1,384 @@
+"""UDP and TCP socket primitives over the network fabric.
+
+These are *message-granular* sockets: each :meth:`send` carries one
+application message with an explicit wire size, and the fabric samples
+a fresh one-way delay for it.  That granularity matches how the paper
+reasons about its 22-step timeline (Figure 2): every arrow in that
+figure is one message here.
+
+TCP connections perform a real three-way handshake (SYN, SYN-ACK, then
+data riding the ACK), record the handshake duration the way the
+BrightData exit node reports it, and preserve in-order reliable
+delivery with loss converted to retransmission delay.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.netsim.engine import Event
+from repro.netsim.host import Host
+
+__all__ = [
+    "ConnectionClosed",
+    "ConnectionRefused",
+    "Datagram",
+    "ListenerClosed",
+    "SocketTimeout",
+    "TcpConnection",
+    "TcpListener",
+    "UdpSocket",
+    "open_tcp",
+]
+
+_SYN_BYTES = 60
+_ACK_BYTES = 52
+_FIN_BYTES = 52
+
+_channel_counter = itertools.count(1)
+
+
+class SocketTimeout(Exception):
+    """A blocking receive exceeded its deadline."""
+
+
+class ConnectionRefused(Exception):
+    """No listener at the destination port."""
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the connection and the inbox is drained."""
+
+
+class ListenerClosed(Exception):
+    """The listener was closed."""
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One UDP datagram as seen by the receiver."""
+
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    payload: Any
+    nbytes: int
+
+
+class _Mailbox:
+    """FIFO inbox shared by UDP sockets and TCP connection endpoints."""
+
+    def __init__(self, host: Host) -> None:
+        self._host = host
+        self._queue: Deque[Any] = deque()
+        self._waiters: Deque[Event] = deque()
+        self.closed = False
+
+    def push(self, item: Any) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed(item)
+                return
+        self._queue.append(item)
+
+    def close(self, exc_factory: Callable[[], Exception]) -> None:
+        self.closed = True
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.fail(exc_factory())
+
+    def pop(self, timeout_ms: Optional[float],
+            exc_factory: Callable[[], Exception]) -> Event:
+        sim = self._host.network.sim
+        event = sim.event()
+        if self._queue:
+            event.succeed(self._queue.popleft())
+            return event
+        if self.closed:
+            event.fail(exc_factory())
+            return event
+        self._waiters.append(event)
+        if timeout_ms is not None:
+
+            def expire() -> None:
+                if not event.triggered:
+                    event.fail(SocketTimeout(
+                        "no data within {:.1f}ms".format(timeout_ms)))
+
+            sim.schedule(timeout_ms, expire)
+        return event
+
+
+class UdpSocket:
+    """An unreliable datagram socket bound to (host, port)."""
+
+    def __init__(self, host: Host, port: int) -> None:
+        key = (host.ip, port)
+        table = host.network.udp_ports
+        if key in table:
+            raise OSError("UDP port {} already bound on {}".format(port, host.ip))
+        table[key] = self
+        self.host = host
+        self.port = port
+        self._mailbox = _Mailbox(host)
+        self.closed = False
+
+    def sendto(self, payload: Any, nbytes: int, dst_ip: str, dst_port: int) -> None:
+        """Send one datagram; silently dropped on loss or closed port."""
+        if self.closed:
+            raise OSError("socket is closed")
+        network = self.host.network
+        dst_ip = network.resolve_destination(self.host, dst_ip)
+        datagram = Datagram(
+            src_ip=self.host.ip,
+            src_port=self.port,
+            dst_ip=dst_ip,
+            dst_port=dst_port,
+            payload=payload,
+            nbytes=nbytes,
+        )
+
+        def deliver() -> None:
+            sock = network.udp_ports.get((dst_ip, dst_port))
+            if isinstance(sock, UdpSocket) and not sock.closed:
+                sock._mailbox.push(datagram)
+
+        network.transmit(
+            self.host, dst_ip, nbytes, deliver, channel=0, reliable=False
+        )
+
+    def recv(self, timeout_ms: Optional[float] = None) -> Event:
+        """Event yielding the next :class:`Datagram`.
+
+        Fails with :class:`SocketTimeout` if *timeout_ms* elapses first.
+        """
+        return self._mailbox.pop(timeout_ms, lambda: OSError("socket closed"))
+
+    def close(self) -> None:
+        """Close this endpoint (pending receives fail)."""
+        if not self.closed:
+            self.closed = True
+            self.host.network.udp_ports.pop((self.host.ip, self.port), None)
+            self._mailbox.close(lambda: OSError("socket closed"))
+
+
+class TcpConnection:
+    """One endpoint of an established, reliable, in-order byte channel."""
+
+    def __init__(
+        self,
+        host: Host,
+        local_port: int,
+        remote_ip: str,
+        remote_port: int,
+        channel: int,
+    ) -> None:
+        self.host = host
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.channel = channel
+        self.peer: Optional["TcpConnection"] = None
+        self.closed = False
+        self.remote_closed = False
+        #: Client-side measured SYN→SYN-ACK duration, ms (None on server).
+        self.handshake_ms: Optional[float] = None
+        #: Total application bytes sent/received (accounting/tests).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._mailbox = _Mailbox(host)
+
+    # -- data path ---------------------------------------------------------
+
+    def send(self, payload: Any, nbytes: int) -> None:
+        """Queue one application message for reliable in-order delivery."""
+        if self.closed:
+            raise ConnectionClosed("send on closed connection")
+        if self.peer is None:
+            raise ConnectionClosed("connection not established")
+        peer = self.peer
+        self.bytes_sent += nbytes
+
+        def deliver() -> None:
+            if not peer.closed:
+                peer.bytes_received += nbytes
+                peer._mailbox.push((payload, nbytes))
+
+        self.host.network.transmit(
+            self.host,
+            self.remote_ip,
+            nbytes + _ACK_BYTES,
+            deliver,
+            channel=self.channel,
+            reliable=True,
+        )
+
+    def recv(self, timeout_ms: Optional[float] = None) -> Event:
+        """Event yielding the next message payload.
+
+        Fails with :class:`ConnectionClosed` once the peer has closed
+        and all in-flight data has been drained, or with
+        :class:`SocketTimeout` on deadline expiry.
+        """
+        sized = self.recv_sized(timeout_ms=timeout_ms)
+        unwrapped = self.host.network.sim.event()
+
+        def relay(event: Event) -> None:
+            if event.ok:
+                unwrapped.succeed(event.value[0])
+            else:
+                unwrapped.fail(event.exception)  # type: ignore[arg-type]
+
+        sized.add_callback(relay)
+        return unwrapped
+
+    def recv_sized(self, timeout_ms: Optional[float] = None) -> Event:
+        """Like :meth:`recv` but yields ``(payload, nbytes)``.
+
+        Tunnel relays need the original wire size to recharge the next
+        leg correctly.
+        """
+        return self._mailbox.pop(
+            timeout_ms, lambda: ConnectionClosed("peer closed connection")
+        )
+
+    def close(self) -> None:
+        """Close this endpoint and notify the peer (FIN)."""
+        if self.closed:
+            return
+        self.closed = True
+        self._mailbox.close(lambda: ConnectionClosed("connection closed"))
+        peer = self.peer
+        if peer is None or peer.closed:
+            return
+
+        def deliver_fin() -> None:
+            if not peer.closed:
+                peer.remote_closed = True
+                peer._mailbox.close(
+                    lambda: ConnectionClosed("peer closed connection")
+                )
+
+        self.host.network.transmit(
+            self.host,
+            self.remote_ip,
+            _FIN_BYTES,
+            deliver_fin,
+            channel=self.channel,
+            reliable=True,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<TcpConnection {}:{} -> {}:{}>".format(
+            self.host.ip, self.local_port, self.remote_ip, self.remote_port
+        )
+
+
+class TcpListener:
+    """A passive TCP endpoint that spawns a handler per connection."""
+
+    def __init__(self, host: Host, port: int, handler) -> None:
+        key = (host.ip, port)
+        table = host.network.tcp_ports
+        if key in table:
+            raise OSError("TCP port {} already bound on {}".format(port, host.ip))
+        table[key] = self
+        self.host = host
+        self.port = port
+        self.handler = handler
+        self.closed = False
+
+    def _accept(self, client_conn_info: Tuple[str, int, int]) -> "TcpConnection":
+        client_ip, client_port, channel = client_conn_info
+        conn = TcpConnection(
+            host=self.host,
+            local_port=self.port,
+            remote_ip=client_ip,
+            remote_port=client_port,
+            channel=channel,
+        )
+        self.host.network.sim.spawn(
+            self.handler(conn),
+            name="tcp-handler-{}:{}".format(self.host.ip, self.port),
+        )
+        return conn
+
+    def close(self) -> None:
+        """Close this endpoint (pending receives fail)."""
+        if not self.closed:
+            self.closed = True
+            self.host.network.tcp_ports.pop((self.host.ip, self.port), None)
+
+
+def open_tcp(host: Host, dst_ip: str, dst_port: int):
+    """Connect to ``dst_ip:dst_port``; generator returning a connection.
+
+    Implements the three-way handshake as actual fabric messages: the
+    SYN travels to the listener (one sampled delay), the SYN-ACK comes
+    back (another sampled delay), and the caller resumes having
+    measured ``handshake_ms``.  The final ACK rides the first data
+    segment, as TCP does, so it adds no latency.
+    """
+    network = host.network
+    sim = network.sim
+    dst_ip = network.resolve_destination(host, dst_ip)
+    local_port = host.ephemeral_port()
+    channel = next(_channel_counter)
+    started = sim.now
+    established = sim.event()
+
+    client_conn = TcpConnection(
+        host=host,
+        local_port=local_port,
+        remote_ip=dst_ip,
+        remote_port=dst_port,
+        channel=channel,
+    )
+
+    def on_syn() -> None:
+        listener = network.tcp_ports.get((dst_ip, dst_port))
+        if not isinstance(listener, TcpListener) or listener.closed:
+            def refuse() -> None:
+                if not established.triggered:
+                    established.fail(ConnectionRefused(
+                        "{}:{} refused connection".format(dst_ip, dst_port)))
+            network.transmit(
+                network.host(dst_ip) if network.has_host(dst_ip) else host,
+                host.ip,
+                _SYN_BYTES,
+                refuse,
+                channel=channel,
+                reliable=True,
+            )
+            return
+        server_conn = listener._accept((host.ip, local_port, channel))
+        server_conn.peer = client_conn
+        client_conn.peer = server_conn
+
+        def on_syn_ack() -> None:
+            if not established.triggered:
+                client_conn.handshake_ms = sim.now - started
+                established.succeed(client_conn)
+
+        network.transmit(
+            listener.host,
+            host.ip,
+            _SYN_BYTES,
+            on_syn_ack,
+            channel=channel,
+            reliable=True,
+        )
+
+    if not network.has_host(dst_ip):
+        raise ConnectionRefused("no route to {}".format(dst_ip))
+    network.transmit(
+        host, dst_ip, _SYN_BYTES, on_syn, channel=channel, reliable=True
+    )
+    conn = yield established
+    return conn

@@ -1,0 +1,52 @@
+"""BrightData (Luminati) proxy-network simulation.
+
+The paper buys measurements from BrightData: a Super Proxy fronts a
+fleet of residential exit nodes (HolaVPN installs) and exposes an HTTP
+proxy interface with timing headers.  This package reproduces the
+observable behaviour end to end:
+
+* :mod:`repro.proxy.headers` — the ``X-luminati-timeline`` /
+  ``X-luminati-tun-timeline`` header codec,
+* :mod:`repro.proxy.exitnode` — the exit-node agent (resolve, connect,
+  fetch, relay),
+* :mod:`repro.proxy.superproxy` — the Super Proxy (CONNECT tunnelling,
+  absolute-form GET, node selection, the 11-country Do53 quirk),
+* :mod:`repro.proxy.population` — generation of the residential
+  exit-node fleet with per-country infrastructure profiles,
+* :mod:`repro.proxy.network` — the fleet registry, session pinning and
+  the censorship policy.
+"""
+
+from repro.proxy.headers import (
+    TimelineHeaders,
+    TUN_TIMELINE_HEADER,
+    TIMELINE_HEADER,
+    decode_timeline,
+    encode_timeline,
+)
+from repro.proxy.exitnode import ExitNode, AGENT_PORT
+from repro.proxy.network import CensorshipPolicy, ProxyNetwork
+from repro.proxy.population import (
+    CountryInfrastructure,
+    PopulationConfig,
+    build_population,
+    fit_population_counts,
+)
+from repro.proxy.superproxy import SuperProxy
+
+__all__ = [
+    "AGENT_PORT",
+    "CensorshipPolicy",
+    "CountryInfrastructure",
+    "ExitNode",
+    "PopulationConfig",
+    "ProxyNetwork",
+    "SuperProxy",
+    "TIMELINE_HEADER",
+    "TUN_TIMELINE_HEADER",
+    "TimelineHeaders",
+    "build_population",
+    "decode_timeline",
+    "encode_timeline",
+    "fit_population_counts",
+]

@@ -1,0 +1,311 @@
+"""The exit-node agent (the HolaVPN install on a residential machine).
+
+The agent listens for Super Proxy commands on a TCP port and supports:
+
+* ``tunnel``: resolve a target hostname with the machine's **default
+  DNS configuration** (§4.3 of the paper verifies real exit nodes use
+  the OS resolver), open a TCP connection to it, report the two timings
+  (``dns``, ``connect``) and then relay opaque data both ways — this
+  carries the client's TLS session to the DoH provider;
+* ``fetch``: resolve + connect + HTTP GET, reporting the same timings —
+  this is the Do53 measurement path;
+* both with an optional pre-resolved address override, used by the
+  Super Proxy in the 11 countries where BrightData resolves centrally.
+
+Agent processing time is reported back so the Super Proxy can include
+it in ``X-luminati-timeline`` (the paper's Assumption 2 — BrightData
+boxes add negligible, accounted-for time).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.dns.records import RRType
+from repro.dns.stub import StubError, StubResolver
+from repro.http.client import request_over
+from repro.http.message import HttpRequest, HttpResponse
+from repro.netsim.host import Host
+from repro.netsim.sockets import (
+    ConnectionClosed,
+    ConnectionRefused,
+    SocketTimeout,
+    TcpConnection,
+)
+
+__all__ = ["AGENT_PORT", "AgentReply", "ExitNode"]
+
+AGENT_PORT = 7700
+
+#: Sizes of the small agent-protocol control messages.
+_CONTROL_BYTES = 160
+
+#: Per-forwarded-message relay overhead at the exit node, ms.
+_RELAY_OVERHEAD_MS = 0.08
+
+
+@dataclass(frozen=True)
+class AgentReply:
+    """Agent response to a tunnel/fetch command."""
+
+    ok: bool
+    dns_ms: float = 0.0
+    connect_ms: float = 0.0
+    processing_ms: float = 0.0
+    error: str = ""
+    response: Optional[HttpResponse] = None
+    resolved_ip: str = ""
+
+
+@dataclass(frozen=True)
+class AgentCommand:
+    """Super Proxy → agent command."""
+
+    action: str  # "tunnel" | "fetch"
+    target_host: str
+    target_port: int
+    ip_override: str = ""
+    path: str = "/"
+
+
+class ExitNode:
+    """One residential exit node enrolled in the proxy network."""
+
+    def __init__(
+        self,
+        node_id: str,
+        host: Host,
+        resolver_ip: str,
+        claimed_country: str,
+        rng: random.Random,
+        agent_port: int = AGENT_PORT,
+        processing_ms: float = 0.4,
+        connect_timeout_ms: float = 8000.0,
+        blocked_hosts: Optional[frozenset] = None,
+        os_dns_cache: Optional[dict] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.host = host
+        self.resolver_ip = resolver_ip
+        #: Country BrightData believes the node is in (may be mislabeled).
+        self.claimed_country = claimed_country
+        self.rng = rng
+        self.agent_port = agent_port
+        self.processing_ms = processing_ms
+        self.connect_timeout_ms = connect_timeout_ms
+        #: Hostnames unreachable from this node (national DoH blocking).
+        self.blocked_hosts = blocked_hosts or frozenset()
+        #: OS-level stub cache: popular names (e.g. a DoH provider's
+        #: domain) are often already resolved on a residential machine,
+        #: making t3+t4 near zero for those nodes.
+        self.os_dns_cache = dict(os_dns_cache or {})
+        self.stub = StubResolver(host, resolver_ip, rng)
+        self.tunnels_served = 0
+        self.fetches_served = 0
+        self._listener = None
+
+    # -- identity --------------------------------------------------------
+
+    @property
+    def true_country(self) -> str:
+        return self.host.country_code
+
+    @property
+    def ip(self) -> str:
+        return self.host.ip
+
+    @property
+    def mislabeled(self) -> bool:
+        return self.claimed_country != self.true_country
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin listening for Super Proxy commands."""
+        if self._listener is not None:
+            raise RuntimeError("agent already started")
+        self._listener = self.host.listen_tcp(self.agent_port, self._agent)
+
+    def stop(self) -> None:
+        """Stop the agent listener."""
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    # -- agent protocol ---------------------------------------------------
+
+    def _agent(self, conn: TcpConnection):
+        try:
+            command = yield conn.recv()
+        except ConnectionClosed:
+            return
+        if not isinstance(command, AgentCommand):
+            conn.close()
+            return
+        started = self.host.network.sim.now
+        if self.processing_ms > 0:
+            yield self.host.busy(self.processing_ms)
+        if command.action == "tunnel":
+            yield from self._serve_tunnel(conn, command, started)
+        elif command.action == "fetch":
+            yield from self._serve_fetch(conn, command, started)
+        else:
+            self._reply(conn, AgentReply(ok=False, error="bad action"))
+            conn.close()
+
+    def _reply(self, conn: TcpConnection, reply: AgentReply) -> None:
+        size = _CONTROL_BYTES
+        if reply.response is not None:
+            size += reply.response.wire_size()
+        conn.send(reply, size)
+
+    def _resolve_target(self, command: AgentCommand):
+        """Resolve the command's target; generator → (ip, dns_ms, error)."""
+        sim = self.host.network.sim
+        if command.ip_override:
+            return command.ip_override, 0.0, ""
+        cached = self.os_dns_cache.get(command.target_host)
+        if cached is not None:
+            # OS stub cache hit: sub-millisecond local lookup.
+            started = sim.now
+            yield self.host.busy(self.rng.uniform(0.1, 0.6))
+            return cached, sim.now - started, ""
+        started = sim.now
+        try:
+            answer = yield from self.stub.query(command.target_host, RRType.A)
+        except StubError as exc:
+            return "", sim.now - started, str(exc)
+        addresses = answer.addresses
+        if not addresses:
+            return "", sim.now - started, "no A records"
+        return addresses[0], sim.now - started, ""
+
+    def _connect_target(self, ip: str, port: int, blocked: bool):
+        """TCP to the target; generator → (conn|None, connect_ms, error)."""
+        sim = self.host.network.sim
+        started = sim.now
+        if blocked:
+            # SYNs are dropped by the national firewall: the client sees
+            # a connect timeout, which is how the paper observed 99% of
+            # Chinese DoH queries failing.
+            yield sim.timeout(self.connect_timeout_ms)
+            return None, sim.now - started, "connect timeout"
+        try:
+            conn = yield from self.host.open_tcp(ip, port)
+        except ConnectionRefused as exc:
+            return None, sim.now - started, str(exc)
+        return conn, sim.now - started, ""
+
+    # -- tunnel ------------------------------------------------------------
+
+    def _serve_tunnel(self, conn: TcpConnection, command: AgentCommand,
+                      started: float):
+        sim = self.host.network.sim
+        ip, dns_ms, error = yield from self._resolve_target(command)
+        if error:
+            self._reply(conn, AgentReply(ok=False, dns_ms=dns_ms, error=error))
+            conn.close()
+            return
+        blocked = command.target_host in self.blocked_hosts
+        target, connect_ms, error = yield from self._connect_target(
+            ip, command.target_port, blocked
+        )
+        if target is None:
+            self._reply(
+                conn,
+                AgentReply(
+                    ok=False, dns_ms=dns_ms, connect_ms=connect_ms, error=error
+                ),
+            )
+            conn.close()
+            return
+        self.tunnels_served += 1
+        processing = (sim.now - started) - dns_ms - connect_ms
+        self._reply(
+            conn,
+            AgentReply(
+                ok=True,
+                dns_ms=dns_ms,
+                connect_ms=connect_ms,
+                processing_ms=max(0.0, processing),
+                resolved_ip=ip,
+            ),
+        )
+        sim.spawn(self._pump(conn, target), name="exit-pump-up")
+        yield from self._pump(target, conn)
+
+    def _pump(self, source: TcpConnection, sink: TcpConnection):
+        """Relay messages from *source* to *sink* until either closes."""
+        while True:
+            try:
+                payload, nbytes = yield source.recv_sized()
+            except ConnectionClosed:
+                sink.close()
+                return
+            if _RELAY_OVERHEAD_MS > 0:
+                yield self.host.busy(_RELAY_OVERHEAD_MS)
+            try:
+                sink.send(payload, nbytes)
+            except ConnectionClosed:
+                source.close()
+                return
+
+    # -- fetch -----------------------------------------------------------------
+
+    def _serve_fetch(self, conn: TcpConnection, command: AgentCommand,
+                     started: float):
+        sim = self.host.network.sim
+        ip, dns_ms, error = yield from self._resolve_target(command)
+        if error:
+            self._reply(conn, AgentReply(ok=False, dns_ms=dns_ms, error=error))
+            conn.close()
+            return
+        blocked = command.target_host in self.blocked_hosts
+        target, connect_ms, error = yield from self._connect_target(
+            ip, command.target_port, blocked
+        )
+        if target is None:
+            self._reply(
+                conn,
+                AgentReply(
+                    ok=False, dns_ms=dns_ms, connect_ms=connect_ms, error=error
+                ),
+            )
+            conn.close()
+            return
+        processing = max(0.0, (sim.now - started) - dns_ms - connect_ms)
+        request = HttpRequest(method="GET", target=command.path)
+        request.headers.set("Host", command.target_host)
+        try:
+            response = yield from request_over(
+                target, request, timeout_ms=self.connect_timeout_ms
+            )
+        except (ConnectionClosed, SocketTimeout) as exc:
+            target.close()
+            self._reply(
+                conn,
+                AgentReply(
+                    ok=False,
+                    dns_ms=dns_ms,
+                    connect_ms=connect_ms,
+                    error=str(exc),
+                ),
+            )
+            conn.close()
+            return
+        target.close()
+        self.fetches_served += 1
+        self._reply(
+            conn,
+            AgentReply(
+                ok=True,
+                dns_ms=dns_ms,
+                connect_ms=connect_ms,
+                processing_ms=max(0.0, processing),
+                response=response,
+                resolved_ip=ip,
+            ),
+        )
+        conn.close()

@@ -1,0 +1,345 @@
+"""The BrightData Super Proxy.
+
+Accepts customer requests on the proxy port and drives exit nodes:
+
+* ``CONNECT host:port`` — selects an exit node for the requested
+  country, commands it to resolve + connect to the target, answers
+  ``200`` carrying the ``X-luminati-*`` timing headers, then relays
+  opaque data between customer and exit node (the DoH measurement
+  path, steps 1–8 of the paper's Figure 2);
+* absolute-form ``GET http://host/path`` — commands the exit node to
+  fetch the URL (the Do53 measurement path).  In the 11 countries that
+  host super-proxy servers, **the super proxy resolves the hostname
+  itself** and hands the exit node an IP — the BrightData quirk that
+  invalidates Do53 measurements there (§3.5).
+
+Request headers understood (stand-ins for BrightData's username-field
+routing syntax):
+
+* ``X-BD-Country`` — ISO country code to exit from;
+* ``X-BD-Session`` — session id for node stickiness;
+* ``X-BD-Node`` — pin an exact node id (ground-truth experiments).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.dns.name import DomainName
+from repro.dns.records import RRType
+from repro.dns.recursive import RecursiveResolver, ResolutionError
+from repro.geo.countries import SUPER_PROXY_COUNTRIES
+from repro.http.message import HeaderBag, HttpRequest, HttpResponse, Status
+from repro.netsim.host import Host
+from repro.netsim.sockets import (
+    ConnectionClosed,
+    ConnectionRefused,
+    TcpConnection,
+)
+from repro.proxy.exitnode import AgentCommand, AgentReply, ExitNode
+from repro.proxy.headers import TimelineHeaders
+from repro.proxy.network import NoPeerAvailable, ProxyNetwork
+
+__all__ = ["PROXY_PORT", "SuperProxy"]
+
+PROXY_PORT = 22225
+
+_CONTROL_BYTES = 160
+_RELAY_OVERHEAD_MS = 0.08
+
+
+class SuperProxy:
+    """One super-proxy site."""
+
+    def __init__(
+        self,
+        host: Host,
+        proxy_network: ProxyNetwork,
+        rng: random.Random,
+        resolver: Optional[RecursiveResolver] = None,
+        port: int = PROXY_PORT,
+    ) -> None:
+        self.host = host
+        self.proxy_network = proxy_network
+        self.rng = rng
+        #: Resolver used when this super proxy resolves centrally.
+        self.resolver = resolver
+        self.port = port
+        self.tunnels_served = 0
+        self.fetches_served = 0
+        self._listener = None
+
+    @property
+    def country_code(self) -> str:
+        return self.host.country_code
+
+    def start(self) -> None:
+        """Bind the proxy port and begin serving."""
+        if self._listener is not None:
+            raise RuntimeError("super proxy already started")
+        self._listener = self.host.listen_tcp(self.port, self._serve)
+
+    def stop(self) -> None:
+        """Close the proxy listener."""
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    # -- connection service ------------------------------------------------
+
+    def _serve(self, conn: TcpConnection):
+        while True:
+            try:
+                message = yield conn.recv()
+            except ConnectionClosed:
+                return
+            if not isinstance(message, HttpRequest):
+                conn.close()
+                return
+            if message.method == "CONNECT":
+                yield from self._serve_connect(conn, message)
+                return  # the connection is now a tunnel (or closed)
+            if message.method == "GET":
+                yield from self._serve_fetch(conn, message)
+                continue
+            self._respond_error(conn, Status.BAD_REQUEST, "bad method")
+
+    # -- shared steps -------------------------------------------------------
+
+    def _box_times(self) -> dict:
+        """Sample this request's super-proxy processing breakdown."""
+        return {
+            "auth": self.rng.uniform(0.4, 1.5),
+            "init": self.rng.uniform(0.2, 0.8),
+            "select": self.rng.uniform(0.2, 1.0),
+            "validate": self.rng.uniform(0.2, 0.8),
+        }
+
+    def _pick_node(self, request: HttpRequest) -> ExitNode:
+        country = (request.headers.get("X-BD-Country") or "").upper()
+        session = request.headers.get("X-BD-Session")
+        node_id = request.headers.get("X-BD-Node")
+        return self.proxy_network.select(
+            country, session_id=session, node_id=node_id
+        )
+
+    def _respond_error(
+        self,
+        conn: TcpConnection,
+        status: int,
+        error: str,
+        timeline: Optional[TimelineHeaders] = None,
+    ) -> None:
+        headers = HeaderBag()
+        headers.set("X-BD-Error", error)
+        if timeline is not None:
+            timeline.apply(headers)
+        response = HttpResponse(status=status, headers=headers)
+        try:
+            conn.send(response, response.wire_size())
+        except ConnectionClosed:
+            pass
+
+    def _open_agent(self, node: ExitNode):
+        """Connect to the node's agent; generator → (conn, elapsed_ms)."""
+        sim = self.host.network.sim
+        started = sim.now
+        agent = yield from self.host.open_tcp(node.ip, node.agent_port)
+        return agent, sim.now - started
+
+    # -- CONNECT (DoH measurement path) -----------------------------------
+
+    def _serve_connect(self, conn: TcpConnection, request: HttpRequest):
+        sim = self.host.network.sim
+        target_host, target_port, error = _parse_connect_target(request.target)
+        if error:
+            self._respond_error(conn, Status.BAD_REQUEST, error)
+            conn.close()
+            return
+        box = self._box_times()
+        yield self.host.busy(box["auth"] + box["init"] + box["select"])
+        try:
+            node = self._pick_node(request)
+        except NoPeerAvailable as exc:
+            self._respond_error(conn, Status.BAD_GATEWAY, str(exc))
+            conn.close()
+            return
+        try:
+            agent, init_exit_ms = yield from self._open_agent(node)
+        except ConnectionRefused as exc:
+            self._respond_error(conn, Status.BAD_GATEWAY, str(exc))
+            conn.close()
+            return
+        box["init_exit"] = init_exit_ms
+        yield self.host.busy(box["validate"])
+        agent.send(
+            AgentCommand(
+                action="tunnel",
+                target_host=target_host,
+                target_port=target_port,
+            ),
+            _CONTROL_BYTES,
+        )
+        try:
+            reply = yield agent.recv()
+        except ConnectionClosed:
+            self._respond_error(conn, Status.BAD_GATEWAY, "exit node died")
+            conn.close()
+            return
+        if not isinstance(reply, AgentReply) or not reply.ok:
+            error_text = reply.error if isinstance(reply, AgentReply) else "bad reply"
+            timeline = TimelineHeaders(
+                tun={
+                    "dns": getattr(reply, "dns_ms", 0.0),
+                    "connect": getattr(reply, "connect_ms", 0.0),
+                },
+                box=box,
+            )
+            self._respond_error(
+                conn, Status.GATEWAY_TIMEOUT, error_text, timeline
+            )
+            agent.close()
+            conn.close()
+            return
+        box["exit"] = reply.processing_ms
+        timeline = TimelineHeaders(
+            tun={"dns": reply.dns_ms, "connect": reply.connect_ms},
+            box=box,
+        )
+        headers = HeaderBag()
+        headers.set("X-BD-Node-Id", node.node_id)
+        headers.set("X-BD-Exit-Ip", node.ip)
+        timeline.apply(headers)
+        response = HttpResponse(status=Status.OK, headers=headers)
+        conn.send(response, response.wire_size())
+        self.tunnels_served += 1
+        sim.spawn(self._pump(conn, agent), name="sp-pump-up")
+        yield from self._pump(agent, conn)
+
+    def _pump(self, source: TcpConnection, sink: TcpConnection):
+        while True:
+            try:
+                payload, nbytes = yield source.recv_sized()
+            except ConnectionClosed:
+                sink.close()
+                return
+            if _RELAY_OVERHEAD_MS > 0:
+                yield self.host.busy(_RELAY_OVERHEAD_MS)
+            try:
+                sink.send(payload, nbytes)
+            except ConnectionClosed:
+                source.close()
+                return
+
+    # -- absolute-form GET (Do53 measurement path) -------------------------
+
+    def _serve_fetch(self, conn: TcpConnection, request: HttpRequest):
+        sim = self.host.network.sim
+        target_host, path, error = _parse_absolute_url(request.target)
+        if error:
+            self._respond_error(conn, Status.BAD_REQUEST, error)
+            return
+        box = self._box_times()
+        yield self.host.busy(box["auth"] + box["init"] + box["select"])
+        try:
+            node = self._pick_node(request)
+        except NoPeerAvailable as exc:
+            self._respond_error(conn, Status.BAD_GATEWAY, str(exc))
+            return
+
+        # The 11-country quirk: a super proxy resolves the name itself
+        # when the exit node sits in a super-proxy country, so the "dns"
+        # header reflects *this box's* resolution, not the exit node's.
+        ip_override = ""
+        central_dns_ms = None
+        if node.claimed_country in SUPER_PROXY_COUNTRIES and self.resolver is not None:
+            started = sim.now
+            try:
+                outcome = yield from self.resolver.resolve(
+                    DomainName(target_host), RRType.A
+                )
+            except ResolutionError:
+                self._respond_error(conn, Status.BAD_GATEWAY, "dns failure")
+                return
+            central_dns_ms = sim.now - started
+            addresses = outcome.addresses
+            if not addresses:
+                self._respond_error(conn, Status.BAD_GATEWAY, "no A records")
+                return
+            ip_override = addresses[0]
+
+        try:
+            agent, init_exit_ms = yield from self._open_agent(node)
+        except ConnectionRefused as exc:
+            self._respond_error(conn, Status.BAD_GATEWAY, str(exc))
+            return
+        box["init_exit"] = init_exit_ms
+        yield self.host.busy(box["validate"])
+        agent.send(
+            AgentCommand(
+                action="fetch",
+                target_host=target_host,
+                target_port=80,
+                ip_override=ip_override,
+                path=path,
+            ),
+            _CONTROL_BYTES,
+        )
+        try:
+            reply = yield agent.recv()
+        except ConnectionClosed:
+            self._respond_error(conn, Status.BAD_GATEWAY, "exit node died")
+            return
+        agent.close()
+        if not isinstance(reply, AgentReply) or not reply.ok:
+            error_text = reply.error if isinstance(reply, AgentReply) else "bad reply"
+            self._respond_error(conn, Status.GATEWAY_TIMEOUT, error_text)
+            return
+        box["exit"] = reply.processing_ms
+        dns_ms = central_dns_ms if central_dns_ms is not None else reply.dns_ms
+        timeline = TimelineHeaders(
+            tun={"dns": dns_ms, "connect": reply.connect_ms},
+            box=box,
+        )
+        upstream = reply.response
+        headers = upstream.headers.copy() if upstream else HeaderBag()
+        headers.set("X-BD-Node-Id", node.node_id)
+        headers.set("X-BD-Exit-Ip", node.ip)
+        headers.set("X-BD-DNS-At", "superproxy" if ip_override else "exit")
+        timeline.apply(headers)
+        response = HttpResponse(
+            status=upstream.status if upstream else Status.BAD_GATEWAY,
+            headers=headers,
+            body=upstream.body if upstream else b"",
+        )
+        self.fetches_served += 1
+        try:
+            conn.send(response, response.wire_size())
+        except ConnectionClosed:
+            return
+
+
+def _parse_connect_target(target: str) -> Tuple[str, int, str]:
+    """Parse ``host:port`` from a CONNECT target."""
+    host, sep, port_text = target.rpartition(":")
+    if not sep or not host:
+        return "", 0, "malformed CONNECT target {!r}".format(target)
+    try:
+        port = int(port_text)
+    except ValueError:
+        return "", 0, "bad port in {!r}".format(target)
+    if not 1 <= port <= 65535:
+        return "", 0, "port out of range in {!r}".format(target)
+    return host, port, ""
+
+
+def _parse_absolute_url(target: str) -> Tuple[str, str, str]:
+    """Parse ``http://host/path`` absolute-form GET target."""
+    if not target.startswith("http://"):
+        return "", "", "absolute-form http:// URL required"
+    rest = target[len("http://"):]
+    host, _, path = rest.partition("/")
+    if not host:
+        return "", "", "missing host in {!r}".format(target)
+    return host, "/" + path, ""

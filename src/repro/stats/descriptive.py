@@ -1,0 +1,71 @@
+"""Descriptive statistics used throughout the analysis.
+
+Thin, explicit wrappers: medians and percentiles match the paper's
+conventions (linear interpolation), and :func:`empirical_cdf` produces
+the (x, F(x)) series behind Figures 4 and 6.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["empirical_cdf", "mean", "median", "percentile", "stddev"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation; raises on empty input."""
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0–100), linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def median(values: Sequence[float]) -> float:
+    """The 50th percentile."""
+    return percentile(values, 50.0)
+
+
+def empirical_cdf(
+    values: Sequence[float], points: int = 200
+) -> List[Tuple[float, float]]:
+    """Empirical CDF of *values* as ``(x, F(x))`` pairs.
+
+    With ``points`` below the sample size, the curve is subsampled at
+    evenly spaced quantiles (what a plotting script would draw).
+    """
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    if n <= points:
+        return [(x, (i + 1) / n) for i, x in enumerate(ordered)]
+    series: List[Tuple[float, float]] = []
+    for j in range(points):
+        fraction = (j + 1) / points
+        index = max(0, min(n - 1, int(round(fraction * n)) - 1))
+        series.append((ordered[index], (index + 1) / n))
+    return series

@@ -1,0 +1,26 @@
+"""TLS substrate: handshake timing and record framing.
+
+The paper's DoH timeline (Figure 2) hinges on TLS 1.3's one-round-trip
+handshake — steps 9–14 — and on the client sending its Finished with
+the first HTTP request (steps 15–17).  This package models exactly
+those dynamics over the simulated TCP layer: handshake flights are real
+messages with realistic sizes, TLS 1.2 costs an extra round trip, and
+session-ticket resumption is available as an extension.
+"""
+
+from repro.tls.handshake import (
+    TlsError,
+    TlsVersion,
+    client_handshake,
+    server_handshake,
+)
+from repro.tls.session import TlsConnection, TlsSessionTicket
+
+__all__ = [
+    "TlsConnection",
+    "TlsError",
+    "TlsSessionTicket",
+    "TlsVersion",
+    "client_handshake",
+    "server_handshake",
+]

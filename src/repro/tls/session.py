@@ -1,0 +1,90 @@
+"""Established TLS sessions: record framing over TCP.
+
+A :class:`TlsConnection` wraps an established :class:`TcpConnection`
+after a handshake and exposes the same ``send``/``recv``/``close``
+surface, adding per-record overhead bytes.  The first client record
+also carries the TLS 1.3 Finished (steps 15–17 of the paper's
+timeline), which is why it is slightly larger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.netsim.engine import Event
+from repro.netsim.sockets import TcpConnection
+from repro.tls.handshake import (
+    CLIENT_FINISHED_BYTES,
+    HandshakeResult,
+    TlsVersion,
+)
+
+__all__ = ["TlsConnection", "TlsSessionTicket"]
+
+#: Per-record framing + AEAD tag overhead, bytes.
+RECORD_OVERHEAD_BYTES = 29
+
+#: Public alias for the opaque resumption token.
+TlsSessionTicket = object
+
+
+class TlsConnection:
+    """An established TLS session over a TCP connection."""
+
+    def __init__(
+        self,
+        conn: TcpConnection,
+        result: HandshakeResult,
+        is_client: bool,
+    ) -> None:
+        self.conn = conn
+        self.result = result
+        self.is_client = is_client
+        self._pending_finished = (
+            is_client and result.version == TlsVersion.TLS13
+        )
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def host(self):
+        return self.conn.host
+
+    @property
+    def version(self) -> str:
+        return self.result.version
+
+    @property
+    def handshake_ms(self) -> float:
+        return self.result.handshake_ms
+
+    @property
+    def ticket(self) -> Optional[TlsSessionTicket]:
+        return self.result.ticket
+
+    @property
+    def closed(self) -> bool:
+        return self.conn.closed
+
+    # -- data path --------------------------------------------------------
+
+    def send(self, payload: Any, nbytes: int) -> None:
+        """Send one application record (framing overhead added)."""
+        total = nbytes + RECORD_OVERHEAD_BYTES
+        if self._pending_finished:
+            # TLS 1.3: client Finished coalesces with the first record.
+            total += CLIENT_FINISHED_BYTES
+            self._pending_finished = False
+        self.conn.send(payload, total)
+
+    def recv(self, timeout_ms: Optional[float] = None) -> Event:
+        """Event yielding the next application record payload."""
+        return self.conn.recv(timeout_ms=timeout_ms)
+
+    def close(self) -> None:
+        """Close the underlying TCP connection."""
+        self.conn.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<TlsConnection {} over {!r}>".format(self.version, self.conn)

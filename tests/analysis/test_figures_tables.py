@@ -1,0 +1,143 @@
+"""Figure/table generator and report-rendering tests."""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure3_clients_per_country,
+    figure4_resolution_cdfs,
+    figure5_country_medians,
+    figure6_potential_improvement,
+    figure7_delta_by_resolver,
+    figure8_client_map,
+    figure9_client_pop_distance,
+)
+from repro.analysis.report import (
+    format_table,
+    render_figure3,
+    render_groundtruth,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from repro.analysis.tables import (
+    table3_dataset_composition,
+    table4_logistic,
+    table5_linear,
+    table6_linear_by_resolver,
+)
+from repro.core.groundtruth import GroundTruthRow
+
+
+class TestFigures:
+    def test_figure3(self, dataset):
+        data = figure3_clients_per_country(dataset)
+        assert data.minimum >= 1
+        assert data.maximum >= data.median_clients >= data.minimum
+        assert 0.0 <= data.share_with_200_plus <= 1.0
+        assert set(data.counts) == set(dataset.analyzed_countries())
+
+    def test_figure4(self, dataset):
+        curves = figure4_resolution_cdfs(dataset, points=20)
+        assert set(curves) == set(dataset.providers())
+
+    def test_figure5(self, dataset):
+        maps = figure5_country_medians(dataset)
+        by_provider = {m.provider: m for m in maps}
+        assert by_provider["cloudflare"].pop_count > \
+            by_provider["google"].pop_count
+        for provider_map in maps:
+            for value in provider_map.medians_ms.values():
+                assert value > 0
+
+    def test_figure6(self, dataset):
+        curves = figure6_potential_improvement(dataset, points=20)
+        for provider, curve in curves.items():
+            assert curve[-1][1] == pytest.approx(1.0, abs=0.05)
+
+    def test_figure7(self, dataset):
+        deltas = figure7_delta_by_resolver(dataset, n=10)
+        for provider, values in deltas.items():
+            assert values == sorted(values)
+            assert len(values) > 5
+
+    def test_figure8(self, dataset):
+        points = figure8_client_map(dataset)
+        assert len(points) == len(dataset.clients)
+        for lat, lon, country in points[:50]:
+            assert -90 <= lat <= 90 and -180 <= lon <= 180
+            assert len(country) == 2
+
+    def test_figure9(self, dataset):
+        distances = figure9_client_pop_distance(dataset)
+        assert set(distances) == set(dataset.providers())
+        for provider, rows in distances.items():
+            assert all(miles >= 0 for _, miles in rows)
+
+
+class TestTables:
+    def test_table3(self, dataset):
+        rows = table3_dataset_composition(dataset)
+        names = [row.resolver for row in rows]
+        assert names[-1] == "do53 (default)"
+        # The Do53 row counts every client; provider rows at most that.
+        total = rows[-1].clients
+        for row in rows[:-1]:
+            assert row.clients <= total
+
+    def test_table4(self, dataset):
+        rows, models = table4_logistic(dataset, depths=(1, 10))
+        assert set(models) == {1, 10}
+        labels = {(row.variable, row.level) for row in rows}
+        assert ("bandwidth", "slow") in labels
+        assert ("resolver", "nextdns") in labels
+        for row in rows:
+            for odds in row.odds_ratios.values():
+                assert odds > 0
+
+    def test_table5(self, dataset):
+        rows, models = table5_linear(dataset, depths=(1, 10))
+        outputs = {row.output for row in rows}
+        assert outputs == {"delta", "delta10"}
+        metrics = {row.metric for row in rows}
+        assert "resolver_dist" in metrics and "gdp" in metrics
+
+    def test_table6(self, dataset):
+        rows, models = table6_linear_by_resolver(dataset)
+        assert set(models) == set(dataset.providers())
+        assert len(rows) == 5 * len(models)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+
+    def test_format_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a",), [("1", "2")])
+
+    def test_render_groundtruth(self):
+        rows = [GroundTruthRow("IE", "doh", 116.0, 109.0)]
+        text = render_groundtruth(rows, "Table 1")
+        assert "Table 1" in text and "IE" in text and "7.0" in text
+
+    def test_render_table3(self, dataset):
+        text = render_table3(table3_dataset_composition(dataset))
+        assert "cloudflare" in text
+
+    def test_render_table4(self, dataset):
+        rows, _ = table4_logistic(dataset, depths=(1,))
+        text = render_table4(rows, depths=(1,))
+        assert "OR" in text and "x" in text
+
+    def test_render_table5(self, dataset):
+        rows, _ = table5_linear(dataset, depths=(1,))
+        text = render_table5(rows, "Table 5")
+        assert "resolver_dist" in text
+
+    def test_render_figure3(self, dataset):
+        text = render_figure3(figure3_clients_per_country(dataset))
+        assert "median" in text

@@ -1,0 +1,141 @@
+"""PoP-distance (Figures 6, 9) and regression (Tables 4-6) analyses."""
+
+import pytest
+
+from repro.analysis.explain import (
+    as_count_median,
+    linear_delta_model,
+    logistic_slowdown_model,
+)
+from repro.analysis.pops import (
+    client_pop_distances,
+    pop_distance_stats,
+    potential_improvements,
+)
+from repro.analysis.slowdown import client_provider_stats
+
+
+class TestPopDistances:
+    @pytest.fixture(scope="class")
+    def stats(self, dataset):
+        return {s.provider: s for s in pop_distance_stats(dataset)}
+
+    def test_all_providers_present(self, stats):
+        assert set(stats) == {"cloudflare", "google", "nextdns", "quad9"}
+
+    def test_quad9_routing_is_worst(self, stats):
+        # Figure 6: Quad9's potential improvement dwarfs everyone's
+        # (769 miles median vs 46/44/6).
+        quad9 = stats["quad9"].median_improvement_miles
+        for name, stat in stats.items():
+            if name != "quad9":
+                assert quad9 > stat.median_improvement_miles
+
+    def test_quad9_nearest_share_near_paper(self, stats):
+        # §5.2: Quad9 assigns only 21% of clients to the closest PoP.
+        assert 0.10 <= stats["quad9"].share_nearest <= 0.40
+
+    def test_nextdns_near_optimal(self, stats):
+        # Figure 6: NextDNS's median improvement is ~6 miles.
+        assert stats["nextdns"].median_improvement_miles < 120.0
+        assert stats["nextdns"].share_nearest > 0.6
+
+    def test_google_far_but_well_routed(self, stats):
+        # Figure 9: Google clients sit far from its 26 hubs, yet few
+        # could improve by switching PoP (10% over 1000 miles).
+        assert (
+            stats["google"].median_distance_miles
+            > stats["cloudflare"].median_distance_miles
+        )
+        assert stats["google"].share_over_1000_miles < \
+            stats["quad9"].share_over_1000_miles
+
+    def test_improvements_nonnegative(self, dataset):
+        for provider in dataset.providers():
+            for _node, miles in potential_improvements(dataset, provider):
+                assert miles >= 0.0
+
+    def test_distances_unique_per_client(self, dataset):
+        rows = client_pop_distances(dataset, "cloudflare")
+        nodes = [node for node, _ in rows]
+        assert len(nodes) == len(set(nodes))
+
+
+class TestLogisticModel:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return logistic_slowdown_model(dataset, n=1)
+
+    def test_median_split_balances_outcome(self, result):
+        assert result.observations > 200
+        assert result.model.converged
+
+    def test_resolver_effects_relative_to_cloudflare(self, result):
+        # Table 4: all other resolvers have higher slowdown odds than
+        # Cloudflare (1.76x / 2.25x / 1.78x in the paper).
+        for provider in ("google", "nextdns", "quad9"):
+            assert result.odds_of_slowdown("resolver", provider) > 1.0
+
+    def test_infrastructure_effects_direction(self, dataset):
+        # Pool depths to smooth small-sample noise: slow-bandwidth and
+        # low-AS countries should skew toward slowdowns.
+        result = logistic_slowdown_model(dataset, n=10)
+        bandwidth = result.odds_of_slowdown("bandwidth", "slow")
+        ases = result.odds_of_slowdown("ases", "low")
+        assert bandwidth > 0.6  # direction may be noisy at small scale
+        assert ases > 0.6
+        assert max(bandwidth, ases) > 1.0
+
+    def test_unknown_level_raises(self, result):
+        with pytest.raises(KeyError):
+            result.odds_of_slowdown("resolver", "opendns")
+
+    def test_as_count_median_close_to_paper(self):
+        # The paper reports a global median of 25 ASes per country.
+        assert 10 <= as_count_median() <= 60
+
+
+class TestLinearModel:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        return linear_delta_model(dataset, n=1)
+
+    def test_fits_with_enough_observations(self, result):
+        assert result.observations > 200
+
+    def test_bandwidth_reduces_delta(self, result):
+        # Table 5: bandwidth coefficient is negative (more bandwidth,
+        # smaller DoH slowdown).
+        assert result.coefficient("bandwidth") < 0.0
+
+    def test_resolver_distance_increases_delta(self, result):
+        # Table 5: distance to the DoH PoP is the second-largest factor.
+        assert result.coefficient("resolver_dist") > 0.0
+        assert result.p_value("resolver_dist") < 0.05
+
+    def test_scaled_coefficients_consistent(self, result):
+        for metric in ("gdp", "bandwidth", "num_ases",
+                       "nameserver_dist", "resolver_dist"):
+            low, high = result.model.column_ranges[
+                result.model._index(result._METRICS[metric])
+            ]
+            assert result.scaled_coefficient(metric) == pytest.approx(
+                result.coefficient(metric) * (high - low)
+            )
+
+    def test_reuse_shrinks_coefficients(self, dataset):
+        stats = client_provider_stats(dataset)
+        d1 = linear_delta_model(dataset, n=1, stats=stats)
+        d100 = linear_delta_model(dataset, n=100, stats=stats)
+        # Table 5: coefficients shrink as the handshake amortises.
+        assert abs(d100.scaled_coefficient("resolver_dist")) <= abs(
+            d1.scaled_coefficient("resolver_dist")
+        ) + 30.0
+
+    def test_per_provider_filter(self, dataset):
+        stats = client_provider_stats(dataset)
+        result = linear_delta_model(
+            dataset, n=1, provider="cloudflare", stats=stats
+        )
+        all_result = linear_delta_model(dataset, n=1, stats=stats)
+        assert result.observations < all_result.observations

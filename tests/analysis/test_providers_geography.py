@@ -1,0 +1,140 @@
+"""Provider-comparison and geography analyses against the paper's shape."""
+
+import pytest
+
+from repro.analysis.geography import (
+    country_deltas,
+    country_do53_medians,
+    country_doh_medians,
+    country_medians,
+    share_of_countries_benefiting,
+)
+from repro.analysis.providers import (
+    observed_pops,
+    provider_summaries,
+    resolution_time_cdfs,
+)
+from repro.geo.countries import SUPER_PROXY_COUNTRIES
+from repro.stats.descriptive import median
+
+
+class TestProviderSummaries:
+    @pytest.fixture(scope="class")
+    def summaries(self, dataset):
+        return {s.provider: s for s in provider_summaries(dataset)}
+
+    def test_all_providers_summarised(self, summaries):
+        assert set(summaries) == {
+            "cloudflare", "google", "nextdns", "quad9",
+        }
+
+    def test_cloudflare_fastest_doh1(self, summaries):
+        # §5.2: Cloudflare is the top performer (median DoH1 338ms,
+        # 21% faster than the next service).
+        cloudflare = summaries["cloudflare"].median_doh1_ms
+        for name, summary in summaries.items():
+            if name != "cloudflare":
+                assert cloudflare < summary.median_doh1_ms
+
+    def test_cloudflare_fastest_dohr(self, summaries):
+        cloudflare = summaries["cloudflare"].median_dohr_ms
+        for name, summary in summaries.items():
+            if name != "cloudflare":
+                assert cloudflare < summary.median_dohr_ms
+
+    def test_cloudflare_dohr_tracks_do53(self, summaries):
+        # Figure 4a: Cloudflare's reused-connection times closely track
+        # Do53 (paper: 257 vs 250ms).
+        summary = summaries["cloudflare"]
+        assert abs(summary.dohr_vs_do53_ms) < 0.25 * summary.median_do53_ms
+
+    def test_nextdns_slowest_reuse(self, summaries):
+        # §5.2: NextDNS has the slowest DoH performance overall.
+        nextdns = summaries["nextdns"].median_dohr_ms
+        assert nextdns >= max(
+            s.median_dohr_ms for n, s in summaries.items() if n != "nextdns"
+        ) * 0.95
+
+    def test_observed_pop_counts_ordering(self, summaries):
+        # Figure 5: Cloudflare 146 > NextDNS 107 > Google 26.
+        assert (
+            summaries["cloudflare"].observed_pops
+            > summaries["nextdns"].observed_pops
+            > summaries["google"].observed_pops
+        )
+        assert summaries["google"].observed_pops <= 26
+
+    def test_observed_pops_subset_of_deployment(self, small_world, dataset):
+        for name, provider in small_world.providers.items():
+            observed = observed_pops(dataset, name)
+            assert len(observed) <= len(provider.pops)
+
+
+class TestFigure4:
+    def test_cdfs_complete(self, dataset):
+        curves = resolution_time_cdfs(dataset, points=50)
+        for provider, series in curves.items():
+            assert set(series) == {"doh1", "dohr", "do53"}
+            for kind, curve in series.items():
+                assert curve, (provider, kind)
+                assert curve[-1][1] == pytest.approx(1.0, abs=0.02)
+
+    def test_dohr_curve_left_of_doh1(self, dataset):
+        curves = resolution_time_cdfs(dataset, points=50)
+        for provider, series in curves.items():
+            doh1_median = [x for x, y in series["doh1"] if y >= 0.5][0]
+            dohr_median = [x for x, y in series["dohr"] if y >= 0.5][0]
+            assert dohr_median < doh1_median
+
+
+class TestGeography:
+    def test_country_medians_cover_analysed(self, dataset):
+        medians = country_doh_medians(dataset)
+        assert set(medians) <= set(dataset.analyzed_countries())
+        assert len(medians) > 20
+
+    def test_do53_medians_include_super_proxy_countries(self, dataset):
+        # Atlas fills the 11 blind countries.
+        medians = country_do53_medians(dataset)
+        assert set(medians) & set(SUPER_PROXY_COUNTRIES)
+
+    def test_country_level_doh_above_do53(self, dataset):
+        doh, do53 = country_medians(dataset)
+        # Paper: 564.7 vs 332.9 at country level — DoH1 well above.
+        assert doh > 1.3 * do53
+
+    def test_infrastructure_gradient(self, dataset):
+        # Countries with poor infrastructure resolve slower (the paper's
+        # central inequality finding).
+        from repro.geo.countries import COUNTRIES
+
+        medians = country_doh_medians(dataset)
+        slow = [v for c, v in medians.items()
+                if not COUNTRIES[c].fast_internet]
+        fast = [v for c, v in medians.items()
+                if COUNTRIES[c].fast_internet]
+        if len(slow) >= 5 and len(fast) >= 5:
+            assert median(slow) > 1.2 * median(fast)
+
+    def test_some_countries_benefit(self, dataset):
+        # Paper: 8.8% of countries saw faster DoH1 than Do53.
+        share = share_of_countries_benefiting(dataset)
+        assert 0.0 <= share <= 0.30
+
+    def test_figure7_provider_ordering(self, dataset):
+        deltas = country_deltas(dataset, n=10)
+        by_provider = {}
+        for delta in deltas:
+            by_provider.setdefault(delta.provider, []).append(delta.delta_ms)
+        medians = {p: median(v) for p, v in by_provider.items()}
+        # Figure 7: Cloudflare's slowdown (49.65ms) is the smallest;
+        # NextDNS (159.62ms) the largest.
+        assert medians["cloudflare"] == min(medians.values())
+        assert medians["nextdns"] == max(medians.values())
+
+    def test_deltas_have_matching_baselines(self, dataset):
+        for delta in country_deltas(dataset, n=10)[:50]:
+            assert delta.do53_ms > 0
+            assert delta.delta_ms == pytest.approx(
+                delta.doh_n_ms - delta.do53_ms
+            )

@@ -1,0 +1,43 @@
+"""ASCII CDF renderer tests."""
+
+import pytest
+
+from repro.analysis.report import render_ascii_cdf
+from repro.stats.descriptive import empirical_cdf
+
+
+class TestAsciiCdf:
+    def test_renders_grid_and_legend(self):
+        curve = empirical_cdf([float(v) for v in range(1, 101)])
+        text = render_ascii_cdf({"demo": curve}, width=40, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 8 + 3  # grid + axis + label + legend
+        assert "c = demo" in lines[-1]
+        assert lines[0].startswith("1.00 |")
+        assert lines[-3].startswith("     +")
+
+    def test_multiple_curves_distinct_markers(self):
+        fast = empirical_cdf([10.0, 20.0, 30.0])
+        slow = empirical_cdf([100.0, 200.0, 300.0])
+        text = render_ascii_cdf({"fast": fast, "slow": slow})
+        assert "c = fast" in text and "o = slow" in text
+
+    def test_x_max_clips(self):
+        curve = empirical_cdf([1.0, 2.0, 1e9])
+        text = render_ascii_cdf({"x": curve}, x_max=10.0, width=20)
+        assert "10 ms" in text
+
+    def test_empty_input(self):
+        assert render_ascii_cdf({}) == "(no data)"
+        assert render_ascii_cdf({"empty": []}) == "(no data)"
+
+    def test_faster_curve_plots_left(self):
+        fast = empirical_cdf([float(v) for v in range(10, 20)])
+        slow = empirical_cdf([float(v) for v in range(500, 510)])
+        text = render_ascii_cdf(
+            {"fast": fast, "slow": slow}, width=60, height=10,
+            x_max=600.0,
+        )
+        for line in text.splitlines():
+            if "c" in line and "o" in line and line.startswith("0"):
+                assert line.index("c") < line.index("o")

@@ -1,0 +1,101 @@
+"""Per-client aggregation and headline-statistics tests."""
+
+import pytest
+
+from repro.analysis.slowdown import (
+    ClientProviderStat,
+    client_provider_stats,
+    global_median_multipliers,
+    headline_stats,
+)
+from repro.geo.countries import SUPER_PROXY_COUNTRIES
+
+
+class TestClientProviderStat:
+    def stat(self, doh1=400.0, dohr=250.0, do53=200.0):
+        return ClientProviderStat(
+            node_id="n", country="DE", provider="cloudflare",
+            doh1_ms=doh1, dohr_ms=dohr, do53_ms=do53,
+        )
+
+    def test_doh_n_interpolates(self):
+        stat = self.stat()
+        assert stat.doh_n_ms(1) == 400.0
+        assert stat.doh_n_ms(10) == pytest.approx((400 + 9 * 250) / 10)
+
+    def test_multiplier_and_delta(self):
+        stat = self.stat()
+        assert stat.multiplier(1) == pytest.approx(2.0)
+        assert stat.delta(1) == pytest.approx(200.0)
+
+    def test_multiplier_requires_positive_baseline(self):
+        with pytest.raises(ValueError):
+            self.stat(do53=0.0).multiplier(1)
+
+    def test_speedup_flag(self):
+        assert self.stat(doh1=150.0).speedup_doh1
+        assert not self.stat().speedup_doh1
+
+
+class TestAggregation:
+    def test_stats_cover_measurable_clients(self, dataset):
+        stats = client_provider_stats(dataset)
+        assert stats
+        providers = {s.provider for s in stats}
+        assert providers == set(dataset.providers())
+
+    def test_super_proxy_countries_excluded(self, dataset):
+        stats = client_provider_stats(dataset)
+        assert not any(
+            s.country in SUPER_PROXY_COUNTRIES for s in stats
+        )
+
+    def test_medians_over_runs(self, dataset):
+        stats = client_provider_stats(dataset)
+        for stat in stats[:100]:
+            assert stat.doh1_ms > stat.dohr_ms > 0
+            assert stat.do53_ms > 0
+
+    def test_one_stat_per_client_provider(self, dataset):
+        stats = client_provider_stats(dataset)
+        keys = [(s.node_id, s.provider) for s in stats]
+        assert len(keys) == len(set(keys))
+
+
+class TestHeadlines:
+    def test_headline_stats_shape(self, dataset):
+        h = headline_stats(dataset)
+        assert h.median_doh1_ms > h.median_dohr_ms
+        assert 0.0 <= h.share_speedup_doh1 <= 1.0
+        assert 0.0 <= h.share_speedup_doh10 <= 1.0
+        assert h.n_client_provider_pairs > 100
+
+    def test_paper_shape_doh_slower_than_do53(self, dataset):
+        # The fundamental crossover: first-query DoH well above Do53,
+        # reuse closing most of the gap (Figure 4's shape).
+        h = headline_stats(dataset)
+        assert h.median_doh1_ms > 1.4 * h.median_do53_ms
+        assert h.median_dohr_ms < 0.75 * h.median_doh1_ms
+
+    def test_multipliers_decreasing_in_depth(self, dataset):
+        h = headline_stats(dataset)
+        multipliers = h.median_multipliers
+        assert multipliers[1] > multipliers[10] > multipliers[100]
+        assert multipliers[100] >= multipliers[1000]
+
+    def test_multiplier_magnitudes_match_paper(self, dataset):
+        # Paper: 1.84x / 1.24x / 1.18x / 1.17x.
+        h = headline_stats(dataset)
+        assert 1.4 <= h.median_multipliers[1] <= 2.6
+        assert 0.95 <= h.median_multipliers[10] <= 1.7
+
+    def test_speedup_share_plausible(self, dataset):
+        # Paper: 19.1% at DoH1, 28% at DoH10.
+        h = headline_stats(dataset)
+        assert 0.05 <= h.share_speedup_doh1 <= 0.35
+        assert h.share_speedup_doh10 >= h.share_speedup_doh1
+
+    def test_global_median_multipliers_subset(self, dataset):
+        stats = client_provider_stats(dataset)
+        multipliers = global_median_multipliers(stats, depths=(1, 10))
+        assert set(multipliers) == {1, 10}

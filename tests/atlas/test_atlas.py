@@ -1,0 +1,72 @@
+"""RIPE Atlas simulation tests."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.atlas.api import AtlasClient
+from repro.atlas.probes import build_probes
+
+
+@pytest.fixture(scope="module")
+def probes(small_world):
+    return build_probes(
+        network=small_world.network,
+        rng=small_world.rng,
+        allocator=small_world.allocator,
+        infrastructure=small_world.population.infrastructure,
+        countries=("SE", "IT", "ZZ"),
+        probes_per_country=5,
+    )
+
+
+class TestProbes:
+    def test_unknown_country_skipped(self, probes):
+        assert "ZZ" not in probes
+        assert set(probes) == {"SE", "IT"}
+
+    def test_probe_count(self, probes):
+        assert len(probes["SE"]) == 5
+
+    def test_probes_are_residential(self, probes):
+        for probe in probes["SE"]:
+            assert not probe.host.site.datacenter
+            assert probe.country_code == "SE"
+
+
+class TestMeasurements:
+    counter = itertools.count()
+
+    def qname(self):
+        return "atlas-{}.a.com".format(next(self.counter))
+
+    def test_dns_measurement_runs(self, small_world, probes):
+        atlas = AtlasClient(small_world.sim, probes)
+        results = small_world.run(
+            atlas.measure_dns("SE", self.qname, repetitions=2)
+        )
+        successes = [r for r in results if r.success]
+        assert len(results) == 10  # 5 probes x 2 repetitions
+        assert len(successes) >= 8
+        for result in successes:
+            assert result.country == "SE"
+            assert result.time_ms > 0
+
+    def test_max_probes_limits_fanout(self, small_world, probes):
+        atlas = AtlasClient(small_world.sim, probes)
+        results = small_world.run(
+            atlas.measure_dns("IT", self.qname, repetitions=1, max_probes=2)
+        )
+        assert len(results) == 2
+
+    def test_unknown_country_returns_empty(self, small_world, probes):
+        atlas = AtlasClient(small_world.sim, probes)
+        results = small_world.run(
+            atlas.measure_dns("XX", self.qname)
+        )
+        assert results == []
+
+    def test_countries_listing(self, small_world, probes):
+        atlas = AtlasClient(small_world.sim, probes)
+        assert atlas.countries() == ["IT", "SE"]

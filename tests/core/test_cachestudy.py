@@ -1,0 +1,67 @@
+"""Cache-hit study tests (§7 future work implemented)."""
+
+import pytest
+
+from repro.core.cachestudy import cache_hit_study, shared_cache_study
+from repro.doh.provider import PROVIDER_CONFIGS
+from repro.geo.countries import COUNTRIES, SUPER_PROXY_COUNTRIES
+
+
+def _usable_nodes(world, n, same_country=False):
+    nodes = []
+    country = None
+    for node in world.nodes():
+        if node.mislabeled or node.blocked_hosts:
+            continue
+        if COUNTRIES[node.claimed_country].censored:
+            continue
+        if same_country:
+            if country is None:
+                country = node.claimed_country
+            elif node.claimed_country != country:
+                continue
+        nodes.append(node)
+        if len(nodes) == n:
+            return nodes
+    if same_country and len(nodes) < n:
+        return _usable_nodes(world, n, same_country=False)
+    return nodes
+
+
+class TestHitVsMiss:
+    @pytest.fixture(scope="class")
+    def result(self, gt_world):
+        node = _usable_nodes(gt_world, 1)[0]
+        return cache_hit_study(gt_world, node, repeats=5)
+
+    def test_hits_faster_than_misses(self, result):
+        assert result.do53_hit_ms < result.do53_miss_ms
+        assert result.doh_hit_ms < result.doh_miss_ms
+
+    def test_do53_hit_is_local_round_trip(self, result):
+        # A Do53 cache hit never leaves the ISP: tens of ms, far below
+        # the authoritative round trip.
+        assert result.do53_hit_ms < 0.6 * result.do53_miss_ms
+
+    def test_doh_hit_bounded_by_pop_round_trip(self, result):
+        assert result.doh_hit_ms < 0.9 * result.doh_miss_ms
+        assert result.doh_hit_speedup > 0
+
+    def test_speedups_positive(self, result):
+        assert result.do53_hit_speedup > 10.0
+        assert result.doh_hit_speedup > 10.0
+
+
+class TestSharedCache:
+    def test_centralisation_effect(self, gt_world):
+        # Probes in the same country share the warming client's PoP
+        # more often than they share its ISP resolver cache entry.
+        nodes = _usable_nodes(gt_world, 6, same_country=True)
+        rates = shared_cache_study(gt_world, nodes)
+        assert 0.0 <= rates["doh_shared_hit_rate"] <= 1.0
+        assert 0.0 <= rates["do53_shared_hit_rate"] <= 1.0
+
+    def test_requires_probes(self, gt_world):
+        nodes = _usable_nodes(gt_world, 1)
+        with pytest.raises(ValueError):
+            shared_cache_study(gt_world, nodes)

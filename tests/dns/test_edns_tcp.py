@@ -1,0 +1,195 @@
+"""EDNS(0), ECS and the DNS-over-TCP truncation fallback."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.authoritative import AuthoritativeServer
+from repro.dns.edns import (
+    DEFAULT_UDP_PAYLOAD,
+    ClientSubnet,
+    attach_edns,
+    parse_edns,
+)
+from repro.dns.message import Message
+from repro.dns.name import DomainName
+from repro.dns.records import ARecord, NSRecord, RRType, TXTRecord
+from repro.dns.recursive import RecursiveResolver
+from repro.dns.stub import StubResolver
+from repro.dns.tcp import (
+    TcpFramingError,
+    frame_tcp_message,
+    unframe_tcp_message,
+)
+from repro.dns.zone import Zone
+from tests.conftest import datacenter_site, residential_site
+
+
+class TestEdnsCodec:
+    def test_attach_and_parse(self):
+        query = Message.query(1, DomainName("x.a.com"), RRType.A)
+        extended = attach_edns(query, 4096)
+        info = parse_edns(extended)
+        assert info is not None
+        assert info.udp_payload_size == 4096
+        assert info.client_subnet is None
+
+    def test_survives_wire_roundtrip(self):
+        query = attach_edns(
+            Message.query(1, DomainName("x.a.com"), RRType.A),
+            DEFAULT_UDP_PAYLOAD,
+            ClientSubnet("203.0.113.0", 24),
+        )
+        decoded = Message.from_wire(query.to_wire())
+        info = parse_edns(decoded)
+        assert info.udp_payload_size == DEFAULT_UDP_PAYLOAD
+        assert info.client_subnet.address == "203.0.113.0"
+        assert info.client_subnet.source_prefix == 24
+        assert info.client_subnet.prefix_text == "203.0.113.0/24"
+
+    def test_no_opt_returns_none(self):
+        query = Message.query(1, DomainName("x.a.com"), RRType.A)
+        assert parse_edns(query) is None
+
+    def test_reattach_replaces_old_opt(self):
+        query = Message.query(1, DomainName("x.a.com"), RRType.A)
+        once = attach_edns(query, 512)
+        twice = attach_edns(once, 4096)
+        opts = [r for r in twice.additional if r.rtype == RRType.OPT]
+        assert len(opts) == 1
+        assert parse_edns(twice).udp_payload_size == 4096
+
+    def test_subnet_validation(self):
+        with pytest.raises(ValueError):
+            ClientSubnet("1.2.3.0", source_prefix=33)
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255),
+           st.sampled_from([8, 16, 24, 32]))
+    def test_ecs_roundtrip(self, a, b, prefix):
+        subnet = ClientSubnet("{}.{}.0.0".format(a, b), prefix)
+        decoded = ClientSubnet.decode(subnet.encode()[4:])
+        assert decoded.source_prefix == prefix
+        # Bytes beyond the prefix are not transmitted.
+        kept = (prefix + 7) // 8
+        assert decoded.address.split(".")[:kept] == \
+            subnet.address.split(".")[:kept]
+
+
+class TestTcpFraming:
+    def test_roundtrip(self):
+        message = Message.query(9, DomainName("x.a.com"), RRType.A)
+        parsed, rest = unframe_tcp_message(frame_tcp_message(message))
+        assert parsed.header.id == 9 and rest == b""
+
+    def test_short_data_rejected(self):
+        with pytest.raises(TcpFramingError):
+            unframe_tcp_message(b"\x00")
+
+
+@pytest.fixture()
+def big_record_world(sim, network):
+    """Auth server with a TXT record too big for a 512-byte UDP reply."""
+    auth_h = network.add_host("auth", "20.0.0.3", datacenter_site())
+    resolver_h = network.add_host("res", "20.1.0.1",
+                                  datacenter_site(50.1, 8.7, "DE"))
+    client_h = network.add_host("cli", "20.1.0.2",
+                                residential_site(52.5, 13.4, "DE"))
+    root_h = network.add_host("root", "20.0.0.1", datacenter_site())
+
+    root_zone = Zone(DomainName("."))
+    root_zone.delegate("a.com", "ns1.a.com", "20.0.0.3")
+    zone = Zone(DomainName("a.com"), default_ttl=3600)
+    zone.add_record("a.com", RRType.NS, NSRecord(DomainName("ns1.a.com")))
+    zone.add_record("ns1.a.com", RRType.A, ARecord("20.0.0.3"))
+    zone.add_record("small.a.com", RRType.A, ARecord("20.0.0.9"))
+    zone.add_record("big.a.com", RRType.TXT, TXTRecord("x" * 2000))
+
+    auth = AuthoritativeServer(auth_h, [zone])
+    auth.start()
+    AuthoritativeServer(root_h, [root_zone], keep_query_log=False).start()
+    resolver = RecursiveResolver(resolver_h, ["20.0.0.1"],
+                                 random.Random(1))
+    resolver.start()
+    stub = StubResolver(client_h, "20.1.0.1", random.Random(2))
+    return {"auth": auth, "stub": stub, "client": client_h}
+
+
+class TestTruncationFallback:
+    def test_small_answer_stays_on_udp(self, sim, big_record_world):
+        auth = big_record_world["auth"]
+
+        def run():
+            answer = yield from big_record_world["stub"].query(
+                "small.a.com", RRType.A
+            )
+            return answer
+
+        answer = sim.run_process(run())
+        assert answer.addresses == ("20.0.0.9",)
+        assert auth.truncated_responses == 0
+
+    def test_big_answer_falls_back_to_tcp(self, sim, big_record_world):
+        auth = big_record_world["auth"]
+
+        def run():
+            answer = yield from big_record_world["stub"].query(
+                "big.a.com", RRType.TXT
+            )
+            return answer
+
+        answer = sim.run_process(run())
+        texts = [r.rdata.text for r in answer.message.answers
+                 if r.rtype == RRType.TXT]
+        assert texts and len(texts[0]) == 2000
+        # The 2000-byte TXT exceeds the 1232-byte EDNS limit: the auth
+        # server truncated on UDP and served the retry over TCP.
+        assert auth.truncated_responses >= 1
+        transports = {e.transport for e in auth.query_log
+                      if str(e.qname) == "big.a.com"}
+        assert "tcp" in transports
+
+    def test_auth_logs_record_transport(self, sim, big_record_world):
+        auth = big_record_world["auth"]
+
+        def run():
+            yield from big_record_world["stub"].query(
+                "small.a.com", RRType.A
+            )
+
+        sim.run_process(run())
+        assert all(e.transport in ("udp", "tcp") for e in auth.query_log)
+
+
+class TestEcsAtAuthServer:
+    def test_google_backend_sends_ecs(self, small_world):
+        # Run one Google DoH resolution; the auth log for that qname
+        # must carry an ECS prefix (Google) — and a Cloudflare query
+        # must not (it never sends ECS).
+        from repro.doh.client import resolve_direct
+        from repro.doh.provider import PROVIDER_CONFIGS
+
+        node = small_world.nodes()[3]
+
+        def run(provider_name, qname):
+            config = PROVIDER_CONFIGS[provider_name]
+
+            def inner():
+                _t, _a, session = yield from resolve_direct(
+                    node.host, node.stub, config.domain, qname,
+                    service_ip=config.vip,
+                )
+                session.close()
+
+            small_world.run(inner())
+
+        run("google", "ecs-test-google.a.com")
+        run("cloudflare", "ecs-test-cf.a.com")
+        entries = {
+            str(e.qname): e for e in small_world.auth_server.query_log
+            if str(e.qname).startswith("ecs-test-")
+        }
+        assert entries["ecs-test-google.a.com"].ecs_prefix is not None
+        assert entries["ecs-test-google.a.com"].ecs_prefix.endswith("/24")
+        assert entries["ecs-test-cf.a.com"].ecs_prefix is None

@@ -1,0 +1,84 @@
+"""Fuzzing the wire parsers: garbage in, clean errors out.
+
+The DNS codec, HTTP parser and framing layers face attacker-controlled
+bytes in reality; they must fail with their documented error types and
+never with arbitrary exceptions or hangs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.message import Message, WireError
+from repro.dns.name import DomainName
+from repro.dns.records import RRType
+from repro.dns.tcp import TcpFramingError, unframe_tcp_message
+from repro.http.message import HttpError, HttpRequest, HttpResponse
+
+
+class TestDnsWireFuzz:
+    @settings(max_examples=300)
+    @given(st.binary(max_size=200))
+    def test_random_bytes_never_crash(self, raw):
+        try:
+            Message.from_wire(raw)
+        except (WireError, ValueError):
+            pass  # documented failure modes
+
+    @settings(max_examples=150)
+    @given(st.binary(min_size=12, max_size=120), st.integers(0, 119))
+    def test_bitflips_on_valid_message(self, noise, position):
+        query = Message.query(7, DomainName("fuzz.a.com"), RRType.A)
+        wire = bytearray(query.to_wire())
+        position %= len(wire)
+        wire[position] ^= 0xFF
+        try:
+            Message.from_wire(bytes(wire))
+        except (WireError, ValueError):
+            pass
+
+    @settings(max_examples=150)
+    @given(st.binary(max_size=100))
+    def test_tcp_unframe_never_crashes(self, raw):
+        try:
+            unframe_tcp_message(raw)
+        except TcpFramingError:
+            pass
+
+    def test_self_pointing_compression_rejected(self):
+        # A name whose pointer targets itself: 0xC00C points at offset
+        # 12, which is the pointer itself.
+        from repro.dns.message import Flags, Header
+
+        wire = Header(1, Flags(), qdcount=1).encode() + b"\xc0\x0c\x00\x01\x00\x01"
+        with pytest.raises(WireError):
+            Message.from_wire(wire)
+
+
+class TestHttpFuzz:
+    @settings(max_examples=200)
+    @given(st.binary(max_size=300))
+    def test_request_parser_never_crashes(self, raw):
+        try:
+            HttpRequest.from_bytes(raw)
+        except HttpError:
+            pass
+        except UnicodeDecodeError:
+            pytest.fail("parser leaked a unicode error")
+
+    @settings(max_examples=200)
+    @given(st.binary(max_size=300))
+    def test_response_parser_never_crashes(self, raw):
+        try:
+            HttpResponse.from_bytes(raw)
+        except HttpError:
+            pass
+
+    @settings(max_examples=100)
+    @given(st.text(max_size=120))
+    def test_timeline_decoder_never_crashes(self, text):
+        from repro.proxy.headers import decode_timeline
+
+        try:
+            decode_timeline(text)
+        except ValueError:
+            pass

@@ -1,0 +1,211 @@
+"""Wire-codec tests: header bits, compression, round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.message import Flags, Header, Message, Opcode, Question, Rcode, WireError
+from repro.dns.name import DomainName
+from repro.dns.records import (
+    ARecord,
+    AAAARecord,
+    CNAMERecord,
+    NSRecord,
+    RRClass,
+    RRType,
+    ResourceRecord,
+    SOARecord,
+    TXTRecord,
+)
+
+
+def rr(name, rtype, rdata, ttl=300):
+    return ResourceRecord(DomainName(name), rtype, RRClass.IN, ttl, rdata)
+
+
+class TestFlags:
+    def test_roundtrip_all_bits(self):
+        flags = Flags(qr=True, opcode=Opcode.STATUS, aa=True, tc=True,
+                      rd=True, ra=True, rcode=Rcode.NXDOMAIN)
+        assert Flags.decode(flags.encode()) == flags
+
+    def test_default_query_flags(self):
+        flags = Flags()
+        assert not flags.qr and flags.rd and flags.rcode == Rcode.NOERROR
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_decode_encode_partial_inverse(self, value):
+        # Z bits (4..6) are not modelled; mask them out of the check.
+        masked = value & 0b1111111110001111
+        assert Flags.decode(value).encode() == masked
+
+
+class TestHeader:
+    def test_fixed_size(self):
+        header = Header(1, Flags(), 1, 2, 3, 4)
+        assert len(header.encode()) == 12
+
+    def test_roundtrip(self):
+        header = Header(0xBEEF, Flags(qr=True), 1, 2, 0, 1)
+        assert Header.decode(header.encode()) == header
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(WireError):
+            Header.decode(b"\x00" * 11)
+
+
+class TestQueryResponse:
+    def test_query_constructor(self):
+        query = Message.query(7, DomainName("x.a.com"), RRType.A)
+        assert query.header.id == 7
+        assert query.question.qtype == RRType.A
+        assert not query.header.flags.qr
+
+    def test_respond_echoes_id_and_question(self):
+        query = Message.query(99, DomainName("x.a.com"), RRType.A)
+        answer = rr("x.a.com", RRType.A, ARecord("1.2.3.4"))
+        response = query.respond(Rcode.NOERROR, answers=(answer,), aa=True)
+        assert response.header.id == 99
+        assert response.header.flags.qr and response.header.flags.aa
+        assert response.question == query.question
+        assert response.header.ancount == 1
+
+    def test_question_property_requires_question(self):
+        message = Message(Header(1, Flags()))
+        with pytest.raises(WireError):
+            _ = message.question
+
+
+class TestWireRoundtrip:
+    def test_simple_query(self):
+        query = Message.query(1234, DomainName("uuid-1.a.com"), RRType.A)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.header.id == 1234
+        assert decoded.question.name == DomainName("uuid-1.a.com")
+
+    def test_response_with_all_sections(self):
+        query = Message.query(5, DomainName("www.a.com"), RRType.A)
+        response = query.respond(
+            Rcode.NOERROR,
+            answers=(
+                rr("www.a.com", RRType.CNAME,
+                   CNAMERecord(DomainName("web.a.com"))),
+                rr("web.a.com", RRType.A, ARecord("10.0.0.1")),
+            ),
+            authority=(rr("a.com", RRType.NS,
+                          NSRecord(DomainName("ns1.a.com"))),),
+            additional=(rr("ns1.a.com", RRType.A, ARecord("10.0.0.2")),),
+            aa=True,
+        )
+        decoded = Message.from_wire(response.to_wire())
+        assert decoded.answers == response.answers
+        assert decoded.authority == response.authority
+        assert decoded.additional == response.additional
+
+    def test_soa_roundtrip(self):
+        soa = SOARecord(
+            mname=DomainName("ns1.a.com"),
+            rname=DomainName("hostmaster.a.com"),
+            serial=2021,
+        )
+        message = Message(
+            Header(1, Flags(qr=True)),
+            questions=(Question(DomainName("missing.a.com"), RRType.A),),
+            authority=(rr("a.com", RRType.SOA, soa),),
+        )
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.authority[0].rdata == soa
+
+    def test_txt_roundtrip(self):
+        message = Message(
+            Header(1, Flags(qr=True)),
+            answers=(rr("t.a.com", RRType.TXT, TXTRecord("hello world")),),
+        )
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.answers[0].rdata.text == "hello world"
+
+    def test_aaaa_roundtrip(self):
+        message = Message(
+            Header(1, Flags(qr=True)),
+            answers=(rr("six.a.com", RRType.AAAA,
+                        AAAARecord("20010db8" + "0" * 24)),),
+        )
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.answers[0].rdata.address.startswith("20010db8")
+
+    def test_compression_shrinks_output(self):
+        answers = tuple(
+            rr("host{}.deep.zone.a.com".format(i), RRType.A,
+               ARecord("10.0.0.{}".format(i)))
+            for i in range(1, 6)
+        )
+        message = Message(Header(1, Flags(qr=True)), answers=answers)
+        wire = message.to_wire()
+        uncompressed_estimate = sum(
+            len(str(record.name)) + 2 + 10 + 4 for record in answers
+        ) + 12
+        assert len(wire) < uncompressed_estimate
+        assert Message.from_wire(wire).answers == answers
+
+    def test_counts_recomputed_on_encode(self):
+        # Header counts lie; to_wire must use actual section sizes.
+        message = Message(
+            Header(1, Flags(qr=True), ancount=42),
+            questions=(Question(DomainName("q.a.com"), RRType.A),),
+            answers=(rr("q.a.com", RRType.A, ARecord("1.1.1.1")),),
+        )
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.header.ancount == 1
+
+    def test_wire_size_matches_length(self):
+        query = Message.query(1, DomainName("abc.a.com"), RRType.A)
+        assert query.wire_size() == len(query.to_wire())
+
+
+class TestMalformedWire:
+    def test_truncated_question(self):
+        query = Message.query(1, DomainName("x.a.com"), RRType.A)
+        with pytest.raises(WireError):
+            Message.from_wire(query.to_wire()[:-3])
+
+    def test_forward_pointer_rejected(self):
+        # Header + a name that points forward (invalid).
+        wire = Header(1, Flags(), qdcount=1).encode() + b"\xc0\x20"
+        with pytest.raises(WireError):
+            Message.from_wire(wire)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(WireError):
+            Message.from_wire(b"\x00")
+
+
+label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                min_size=1, max_size=15)
+hostnames = st.lists(label, min_size=1, max_size=5).map(DomainName)
+ipv4s = st.integers(min_value=0, max_value=0xFFFFFFFF).map(
+    lambda v: "{}.{}.{}.{}".format(
+        (v >> 24) & 255, (v >> 16) & 255, (v >> 8) & 255, v & 255
+    )
+)
+
+
+class TestWireProperties:
+    @settings(max_examples=60)
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        hostnames,
+        st.lists(st.tuples(hostnames, ipv4s), max_size=5),
+    )
+    def test_arbitrary_messages_roundtrip(self, ident, qname, answer_parts):
+        answers = tuple(
+            rr(str(name), RRType.A, ARecord(address))
+            for name, address in answer_parts
+        )
+        message = Message(
+            Header(ident, Flags(qr=True)),
+            questions=(Question(qname, RRType.A),),
+            answers=answers,
+        )
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.header.id == ident
+        assert decoded.question.name == qname
+        assert decoded.answers == answers

@@ -1,0 +1,122 @@
+"""Resource-record model tests."""
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.dns.records import (
+    AAAARecord,
+    ARecord,
+    CNAMERecord,
+    NSRecord,
+    RRClass,
+    RRType,
+    ResourceRecord,
+    SOARecord,
+    TXTRecord,
+    decode_rdata,
+)
+
+
+def _noop_name_encoder(name):
+    raise AssertionError("should not be called")
+
+
+class TestRdataEncoding:
+    def test_a_record(self):
+        assert ARecord("1.2.3.4").encode(_noop_name_encoder) == \
+            bytes([1, 2, 3, 4])
+
+    def test_a_record_validation(self):
+        with pytest.raises(ValueError):
+            ARecord("1.2.3").encode(_noop_name_encoder)
+        with pytest.raises(ValueError):
+            ARecord("1.2.3.999").encode(_noop_name_encoder)
+
+    def test_aaaa_record(self):
+        raw = AAAARecord("20" * 16).encode(_noop_name_encoder)
+        assert len(raw) == 16
+
+    def test_aaaa_validation(self):
+        with pytest.raises(ValueError):
+            AAAARecord("abcd").encode(_noop_name_encoder)
+
+    def test_txt_chunking(self):
+        text = "x" * 600
+        raw = TXTRecord(text).encode(_noop_name_encoder)
+        # 255 + 255 + 90 with three length bytes.
+        assert len(raw) == 600 + 3
+        assert raw[0] == 255
+
+    def test_txt_empty(self):
+        raw = TXTRecord("").encode(_noop_name_encoder)
+        assert raw == b"\x00"
+
+
+class TestDecodeRdata:
+    def test_a_requires_four_bytes(self):
+        with pytest.raises(ValueError):
+            decode_rdata(RRType.A, b"\x01\x02", 0, 2, None)
+
+    def test_unsupported_type(self):
+        with pytest.raises(ValueError):
+            decode_rdata(99, b"", 0, 0, None)
+
+    def test_txt_decode(self):
+        wire = b"\x05hello\x05world"
+        record = decode_rdata(RRType.TXT, wire, 0, len(wire), None)
+        assert record.text == "helloworld"
+
+
+class TestResourceRecord:
+    def test_rdata_type_enforced(self):
+        with pytest.raises(TypeError):
+            ResourceRecord(
+                DomainName("x.a.com"), RRType.A, RRClass.IN, 60,
+                NSRecord(DomainName("ns.a.com")),
+            )
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(
+                DomainName("x.a.com"), RRType.A, RRClass.IN, -1,
+                ARecord("1.2.3.4"),
+            )
+
+    def test_with_name_keeps_everything_else(self):
+        record = ResourceRecord(
+            DomainName("*.a.com"), RRType.A, RRClass.IN, 60,
+            ARecord("1.2.3.4"),
+        )
+        renamed = record.with_name(DomainName("uuid.a.com"))
+        assert renamed.name == DomainName("uuid.a.com")
+        assert renamed.rdata == record.rdata
+        assert renamed.ttl == record.ttl
+
+    def test_with_ttl(self):
+        record = ResourceRecord(
+            DomainName("x.a.com"), RRType.A, RRClass.IN, 60,
+            ARecord("1.2.3.4"),
+        )
+        assert record.with_ttl(10).ttl == 10
+
+    def test_to_text_mentions_type_and_class(self):
+        record = ResourceRecord(
+            DomainName("x.a.com"), RRType.A, RRClass.IN, 60,
+            ARecord("1.2.3.4"),
+        )
+        text = record.to_text()
+        assert "x.a.com" in text and "IN" in text and " A " in text
+
+    def test_type_name_rendering(self):
+        assert RRType.to_text(RRType.SOA) == "SOA"
+        assert RRType.to_text(99) == "TYPE99"
+        assert RRClass.to_text(RRClass.IN) == "IN"
+        assert RRClass.to_text(4) == "CLASS4"
+
+    def test_soa_defaults(self):
+        soa = SOARecord(
+            mname=DomainName("ns1.a.com"),
+            rname=DomainName("hostmaster.a.com"),
+            serial=7,
+        )
+        assert soa.refresh > 0 and soa.minimum > 0

@@ -1,0 +1,138 @@
+"""Zone-file parser tests."""
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.dns.records import RRType
+from repro.dns.zonefile import ZoneFileError, parse_zone
+
+SAMPLE = """
+; the paper's measurement zone, BIND-style
+$ORIGIN a.com.
+$TTL 3600
+@       IN  SOA   ns1.a.com. hostmaster.a.com. (2021040201 7200 900 1209600 300)
+@       IN  NS    ns1.a.com.
+ns1     IN  A     20.0.0.3
+www     600 IN  A 20.0.0.5
+*       IN  A     20.0.0.4     ; wildcard for the UUID measurements
+alias   IN  CNAME www
+note    IN  TXT   "hello world"
+"""
+
+
+class TestParsing:
+    @pytest.fixture(scope="class")
+    def zone(self):
+        return parse_zone(SAMPLE)
+
+    def test_origin_from_directive(self, zone):
+        assert zone.origin == DomainName("a.com")
+
+    def test_apex_records(self, zone):
+        result = zone.lookup(DomainName("a.com"), RRType.NS)
+        assert result.is_answer
+        assert result.answers[0].rdata.nsdname == DomainName("ns1.a.com")
+
+    def test_soa_parsed(self, zone):
+        assert zone.soa_record.rdata.serial == 2021040201
+        assert zone.soa_record.rdata.minimum == 300
+
+    def test_relative_names_resolved(self, zone):
+        result = zone.lookup(DomainName("ns1.a.com"), RRType.A)
+        assert result.answers[0].rdata.address == "20.0.0.3"
+
+    def test_per_record_ttl(self, zone):
+        result = zone.lookup(DomainName("www.a.com"), RRType.A)
+        assert result.answers[0].ttl == 600
+
+    def test_default_ttl_applied(self, zone):
+        result = zone.lookup(DomainName("ns1.a.com"), RRType.A)
+        assert result.answers[0].ttl == 3600
+
+    def test_wildcard_works(self, zone):
+        result = zone.lookup(DomainName("uuid-99.a.com"), RRType.A)
+        assert result.is_answer
+        assert result.answers[0].rdata.address == "20.0.0.4"
+
+    def test_cname(self, zone):
+        result = zone.lookup(DomainName("alias.a.com"), RRType.A)
+        assert result.answers[0].rtype == RRType.CNAME
+
+    def test_txt_with_quotes(self, zone):
+        result = zone.lookup(DomainName("note.a.com"), RRType.TXT)
+        assert result.answers[0].rdata.text == "hello world"
+
+    def test_comments_ignored(self, zone):
+        # "; wildcard..." did not break the wildcard record.
+        assert zone.record_count() >= 6
+
+
+class TestOwnerContinuation:
+    def test_blank_owner_repeats_previous(self):
+        zone = parse_zone(
+            "$ORIGIN a.com.\n"
+            "multi  IN A 1.1.1.1\n"
+            "       IN A 1.1.1.2\n"
+        )
+        result = zone.lookup(DomainName("multi.a.com"), RRType.A)
+        addresses = {r.rdata.address for r in result.answers}
+        assert addresses == {"1.1.1.1", "1.1.1.2"}
+
+
+class TestOriginHandling:
+    def test_origin_argument(self):
+        zone = parse_zone("www IN A 1.2.3.4\n", origin="b.org")
+        assert zone.origin == DomainName("b.org")
+        assert zone.lookup(DomainName("www.b.org"), RRType.A).is_answer
+
+    def test_missing_origin_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("www IN A 1.2.3.4\n")
+
+    def test_absolute_names_kept(self):
+        zone = parse_zone(
+            "$ORIGIN a.com.\nsub.a.com. IN A 9.9.9.9\n"
+        )
+        assert zone.lookup(DomainName("sub.a.com"), RRType.A).is_answer
+
+
+class TestErrors:
+    def test_unknown_type(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN a.com.\nx IN MX 10 mail\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$INCLUDE other.zone\n")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN a.com.\n@ IN SOA a. b. (1 2 3 4\n")
+
+    def test_soa_field_count(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN a.com.\n@ IN SOA ns1 hostmaster (1 2)\n")
+
+    def test_record_with_no_owner(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN a.com.\nIN A 1.1.1.1\n")
+
+    def test_unterminated_quote(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone('$ORIGIN a.com.\nx IN TXT "broken\n')
+
+
+class TestServedZone:
+    def test_parsed_zone_serves_queries(self, sim, network):
+        from repro.dns.authoritative import AuthoritativeServer
+        from tests.conftest import datacenter_site
+
+        host = network.add_host("auth", "20.0.0.3", datacenter_site())
+        server = AuthoritativeServer(host, [parse_zone(SAMPLE)])
+        server.start()
+
+        from repro.dns.message import Message
+
+        query = Message.query(5, DomainName("uuid-1.a.com"), RRType.A)
+        response = server.answer(query)
+        assert response.answers[0].rdata.address == "20.0.0.4"

@@ -1,0 +1,69 @@
+"""DoH client method variants (GET vs POST) against live PoPs."""
+
+import pytest
+
+from repro.doh.client import doh_query_on_stream, resolve_direct
+from repro.doh.provider import PROVIDER_CONFIGS
+
+
+class TestPostMethod:
+    def test_post_resolves_like_get(self, small_world):
+        config = PROVIDER_CONFIGS["cloudflare"]
+        node = small_world.nodes()[5]
+
+        def run():
+            _t, _a, session = yield from resolve_direct(
+                node.host, node.stub, config.domain,
+                "method-get.a.com", service_ip=config.vip,
+            )
+            get_answer, _ms = yield from doh_query_on_stream(
+                session.stream, config.domain, "method-get2.a.com",
+                method="GET",
+            )
+            post_answer, _ms = yield from doh_query_on_stream(
+                session.stream, config.domain, "method-post.a.com",
+                method="POST",
+            )
+            session.close()
+            return get_answer, post_answer
+
+        get_answer, post_answer = small_world.run(run())
+        assert get_answer.rcode == 0 and post_answer.rcode == 0
+        assert (
+            post_answer.answers[0].rdata.address
+            == get_answer.answers[0].rdata.address
+            == small_world.web_ip
+        )
+
+    def test_unknown_method_rejected(self, small_world):
+        config = PROVIDER_CONFIGS["cloudflare"]
+        node = small_world.nodes()[5]
+
+        def run():
+            _t, _a, session = yield from resolve_direct(
+                node.host, node.stub, config.domain,
+                "method-x.a.com", service_ip=config.vip,
+            )
+            with pytest.raises(ValueError):
+                yield from doh_query_on_stream(
+                    session.stream, config.domain, "m.a.com",
+                    method="PATCH",
+                )
+            session.close()
+
+        small_world.run(run())
+
+    def test_session_exposes_ticket(self, small_world):
+        config = PROVIDER_CONFIGS["google"]
+        node = small_world.nodes()[6]
+
+        def run():
+            _t, _a, session = yield from resolve_direct(
+                node.host, node.stub, config.domain,
+                "ticket.a.com", service_ip=config.vip,
+            )
+            ticket = session.ticket
+            session.close()
+            return ticket
+
+        assert small_world.run(run()) is not None

@@ -1,0 +1,141 @@
+"""RFC 8484 wire-format tests with hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.message import Message
+from repro.dns.name import DomainName
+from repro.dns.records import RRType
+from repro.doh.wire import (
+    CONTENT_TYPE,
+    DohWireError,
+    decode_query_from_request,
+    encode_get_request,
+    encode_post_request,
+    encode_response,
+    extract_message_from_response,
+)
+from repro.http.message import HttpRequest, HttpResponse, Status
+
+
+def query(name="abc.a.com"):
+    return Message.query(0, DomainName(name), RRType.A)
+
+
+class TestGet:
+    def test_encode_shape(self):
+        request = encode_get_request(query(), host="cloudflare-dns.com")
+        assert request.method == "GET"
+        assert request.target.startswith("/dns-query?dns=")
+        assert request.headers.get("Accept") == CONTENT_TYPE
+        assert request.headers.get("Host") == "cloudflare-dns.com"
+        assert request.body == b""
+
+    def test_base64url_unpadded(self):
+        request = encode_get_request(query(), host="h")
+        value = request.target.split("dns=", 1)[1]
+        assert "=" not in value and "%3D" not in value
+
+    def test_roundtrip(self):
+        original = query("uuid-7.a.com")
+        request = encode_get_request(original, host="h")
+        decoded = decode_query_from_request(request)
+        assert decoded.question.name == DomainName("uuid-7.a.com")
+        assert decoded.header.id == 0  # RFC 8484 §4.1
+
+    def test_custom_path(self):
+        request = encode_get_request(query(), host="h", path="/resolve")
+        assert request.target.startswith("/resolve?dns=")
+
+    def test_missing_dns_parameter(self):
+        request = HttpRequest(method="GET", target="/dns-query?x=1")
+        with pytest.raises(DohWireError):
+            decode_query_from_request(request)
+
+    def test_garbage_base64(self):
+        request = HttpRequest(method="GET", target="/dns-query?dns=!!!")
+        with pytest.raises(DohWireError):
+            decode_query_from_request(request)
+
+    def test_valid_base64_invalid_dns(self):
+        request = HttpRequest(method="GET", target="/dns-query?dns=AAAA")
+        with pytest.raises(DohWireError):
+            decode_query_from_request(request)
+
+
+class TestPost:
+    def test_roundtrip(self):
+        original = query("post.a.com")
+        request = encode_post_request(original, host="h")
+        assert request.method == "POST"
+        assert request.headers.get("Content-Type") == CONTENT_TYPE
+        decoded = decode_query_from_request(request)
+        assert decoded.question.name == DomainName("post.a.com")
+
+    def test_wrong_content_type_rejected(self):
+        request = encode_post_request(query(), host="h")
+        request.headers.set("Content-Type", "text/plain")
+        with pytest.raises(DohWireError):
+            decode_query_from_request(request)
+
+    def test_other_methods_rejected(self):
+        request = HttpRequest(method="PUT", target="/dns-query")
+        with pytest.raises(DohWireError):
+            decode_query_from_request(request)
+
+
+class TestResponse:
+    def test_roundtrip(self):
+        answer = query().respond(0)
+        response = encode_response(answer)
+        assert response.status == Status.OK
+        assert response.headers.get("Content-Type") == CONTENT_TYPE
+        decoded = extract_message_from_response(response)
+        assert decoded.header.flags.qr
+
+    def test_cache_control_from_ttl(self):
+        response = encode_response(query().respond(0), cacheable_ttl=60)
+        assert response.headers.get("Cache-Control") == "max-age=60"
+
+    def test_error_status_rejected(self):
+        response = HttpResponse(status=502)
+        with pytest.raises(DohWireError):
+            extract_message_from_response(response)
+
+    def test_wrong_content_type_rejected(self):
+        response = HttpResponse(status=200, body=query().to_wire())
+        response.headers.set("Content-Type", "text/html")
+        with pytest.raises(DohWireError):
+            extract_message_from_response(response)
+
+    def test_bad_body_rejected(self):
+        response = HttpResponse(status=200, body=b"nope")
+        response.headers.set("Content-Type", CONTENT_TYPE)
+        with pytest.raises(DohWireError):
+            extract_message_from_response(response)
+
+
+label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                min_size=1, max_size=12)
+hostnames = st.lists(label, min_size=1, max_size=4).map(
+    lambda labels: ".".join(labels)
+)
+
+
+class TestProperties:
+    @given(hostnames, st.sampled_from([RRType.A, RRType.AAAA, RRType.TXT]))
+    def test_get_roundtrip_any_name(self, name, rtype):
+        original = Message.query(0, DomainName(name), rtype)
+        decoded = decode_query_from_request(
+            encode_get_request(original, host="h")
+        )
+        assert decoded.question.name == DomainName(name)
+        assert decoded.question.qtype == rtype
+
+    @given(hostnames)
+    def test_post_roundtrip_any_name(self, name):
+        original = Message.query(0, DomainName(name), RRType.A)
+        decoded = decode_query_from_request(
+            encode_post_request(original, host="h")
+        )
+        assert decoded.question.name == DomainName(name)

@@ -1,0 +1,130 @@
+"""DNS-over-TLS extension tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.message import Message
+from repro.dns.name import DomainName
+from repro.dns.records import RRType
+from repro.dot.client import resolve_dot
+from repro.dot.framing import FramingError, frame_message, unframe_message
+from repro.dot.server import attach_dot_listeners
+from repro.doh.client import resolve_direct
+from repro.doh.provider import PROVIDER_CONFIGS
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = Message.query(0, DomainName("x.a.com"), RRType.A)
+        framed = frame_message(message)
+        parsed, rest = unframe_message(framed)
+        assert parsed.question.name == DomainName("x.a.com")
+        assert rest == b""
+
+    def test_prefix_is_two_octet_length(self):
+        message = Message.query(0, DomainName("x.a.com"), RRType.A)
+        framed = frame_message(message)
+        wire = message.to_wire()
+        assert framed[:2] == len(wire).to_bytes(2, "big")
+        assert framed[2:] == wire
+
+    def test_trailing_bytes_returned(self):
+        message = Message.query(0, DomainName("x.a.com"), RRType.A)
+        framed = frame_message(message) + b"extra"
+        _parsed, rest = unframe_message(framed)
+        assert rest == b"extra"
+
+    def test_short_prefix_rejected(self):
+        with pytest.raises(FramingError):
+            unframe_message(b"\x00")
+
+    def test_truncated_body_rejected(self):
+        message = Message.query(0, DomainName("x.a.com"), RRType.A)
+        framed = frame_message(message)
+        with pytest.raises(FramingError):
+            unframe_message(framed[:-1])
+
+    def test_garbage_body_rejected(self):
+        with pytest.raises(FramingError):
+            unframe_message(b"\x00\x03abc")
+
+    label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                    min_size=1, max_size=12)
+
+    @given(st.lists(label, min_size=1, max_size=4))
+    def test_roundtrip_property(self, labels):
+        message = Message.query(0, DomainName(labels), RRType.A)
+        parsed, rest = unframe_message(frame_message(message))
+        assert parsed.question.name == DomainName(labels)
+        assert rest == b""
+
+
+@pytest.fixture(scope="module")
+def dot_world(gt_world):
+    """The ground-truth world with DoT attached to Cloudflare PoPs."""
+    provider = gt_world.provider("cloudflare")
+    count = attach_dot_listeners(provider)
+    assert count == len(provider.pops)
+    return gt_world
+
+
+class TestDotService:
+    def test_resolution_works(self, dot_world):
+        config = PROVIDER_CONFIGS["cloudflare"]
+        node = list(dot_world.nodes())[0]
+
+        def run():
+            timing, answer, session = yield from resolve_dot(
+                node.host, node.stub, config.domain, "dot-test-1.a.com",
+                service_ip=config.vip,
+            )
+            session.close()
+            return timing, answer
+
+        timing, answer = dot_world.run(run())
+        assert answer.rcode == 0
+        assert answer.answers[0].rdata.address == dot_world.web_ip
+        assert timing.tcp_ms > 0 and timing.query_ms > 0
+
+    def test_session_reuse(self, dot_world):
+        config = PROVIDER_CONFIGS["cloudflare"]
+        node = list(dot_world.nodes())[1]
+
+        def run():
+            timing, _answer, session = yield from resolve_dot(
+                node.host, node.stub, config.domain, "dot-test-2.a.com",
+                service_ip=config.vip,
+            )
+            _m, reuse_ms = yield from session.query("dot-test-3.a.com")
+            session.close()
+            return timing.total_ms, reuse_ms
+
+        total, reuse = dot_world.run(run())
+        assert reuse < total
+
+    def test_dot_close_to_doh_on_reused_path(self, dot_world):
+        # Same PoP, same backend: DoT and DoH differ only by transport
+        # overhead, so their totals track within tens of ms.
+        config = PROVIDER_CONFIGS["cloudflare"]
+        node = list(dot_world.nodes())[2]
+
+        def run():
+            dot_t, _a, dot_s = yield from resolve_dot(
+                node.host, node.stub, config.domain, "dot-cmp-1.a.com",
+                service_ip=config.vip,
+            )
+            dot_s.close()
+            doh_t, _a, doh_s = yield from resolve_direct(
+                node.host, node.stub, config.domain, "dot-cmp-2.a.com",
+                service_ip=config.vip,
+            )
+            doh_s.close()
+            return dot_t.total_ms, doh_t.total_ms
+
+        dot_total, doh_total = dot_world.run(run())
+        assert abs(dot_total - doh_total) < 0.5 * doh_total
+
+    def test_double_attach_rejected(self, dot_world):
+        provider = dot_world.provider("cloudflare")
+        with pytest.raises(OSError):
+            attach_dot_listeners(provider)

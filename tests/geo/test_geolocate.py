@@ -1,0 +1,73 @@
+"""Geolocation service tests (the Maxmind stand-in)."""
+
+import pytest
+
+from repro.geo.coords import LatLon
+from repro.geo.geolocate import GeolocationService
+
+
+class TestLookups:
+    def test_registered_prefix_resolves(self):
+        service = GeolocationService()
+        service.register("20.0.0.5", "DE", LatLon(52.5, 13.4))
+        record = service.lookup("20.0.0.77")  # same /24
+        assert record is not None
+        assert record.country_code == "DE"
+        assert record.location.lat == pytest.approx(52.5)
+
+    def test_unknown_prefix_returns_none(self):
+        service = GeolocationService()
+        assert service.lookup("9.9.9.9") is None
+        assert service.lookup_country("9.9.9.9") is None
+
+    def test_different_slash24_not_matched(self):
+        service = GeolocationService()
+        service.register("20.0.0.5", "DE", LatLon(52.5, 13.4))
+        assert service.lookup("20.0.1.5") is None
+
+    def test_register_unknown_country_rejected(self):
+        service = GeolocationService()
+        with pytest.raises(KeyError):
+            service.register("20.0.0.5", "ZZ", LatLon(0.0, 0.0))
+
+    def test_lookup_country_shortcut(self):
+        service = GeolocationService()
+        service.register("20.0.2.1", "JP", LatLon(35.7, 139.7))
+        assert service.lookup_country("20.0.2.200") == "JP"
+
+
+class TestErrorModel:
+    def test_invalid_error_rate_rejected(self):
+        with pytest.raises(ValueError):
+            GeolocationService(error_rate=1.0)
+        with pytest.raises(ValueError):
+            GeolocationService(error_rate=-0.1)
+
+    def test_error_rate_roughly_respected(self):
+        service = GeolocationService(error_rate=0.2)
+        wrong = 0
+        for index in range(400):
+            address = "20.{}.{}.1".format(index // 200, index % 200)
+            service.register(address, "FR", LatLon(46.6, 2.5))
+            if service.lookup_country(address) != "FR":
+                wrong += 1
+        assert 40 <= wrong <= 130  # ~20% of 400 with slack
+
+    def test_errors_deterministic(self):
+        a = GeolocationService(error_rate=0.3)
+        b = GeolocationService(error_rate=0.3)
+        for index in range(100):
+            address = "20.3.{}.1".format(index)
+            a.register(address, "BR", LatLon(-10.8, -52.9))
+            b.register(address, "BR", LatLon(-10.8, -52.9))
+        answers_a = [a.lookup_country("20.3.{}.1".format(i))
+                     for i in range(100)]
+        answers_b = [b.lookup_country("20.3.{}.1".format(i))
+                     for i in range(100)]
+        assert answers_a == answers_b
+
+    def test_wrong_answer_never_matches_truth(self):
+        service = GeolocationService(error_rate=0.9999)
+        service.register("20.5.0.1", "IT", LatLon(42.8, 12.8))
+        answer = service.lookup_country("20.5.0.1")
+        assert answer != "IT"

@@ -1,0 +1,75 @@
+"""Host and SiteProfile tests."""
+
+import pytest
+
+from repro.geo.coords import LatLon
+from repro.netsim.host import SiteProfile
+from tests.conftest import datacenter_site, residential_site
+
+
+class TestSiteProfileValidation:
+    def test_negative_last_mile_rejected(self):
+        with pytest.raises(ValueError):
+            SiteProfile(LatLon(0, 0), "US", -1.0, 100.0, 1.3)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            SiteProfile(LatLon(0, 0), "US", 1.0, 0.0, 1.3)
+
+    def test_stretch_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            SiteProfile(LatLon(0, 0), "US", 1.0, 100.0, 0.9)
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError):
+            SiteProfile(LatLon(0, 0), "US", 1.0, 100.0, 1.3,
+                        loss_rate=0.6)
+
+    def test_datacenter_factory(self):
+        site = SiteProfile.datacenter_site(LatLon(1, 2), "SG")
+        assert site.datacenter
+        assert site.last_mile_ms < 1.0
+        assert site.country_code == "SG"
+
+    def test_frozen(self):
+        site = residential_site()
+        with pytest.raises(AttributeError):
+            site.last_mile_ms = 5.0  # type: ignore[misc]
+
+
+class TestHost:
+    def test_identity_properties(self, network):
+        host = network.add_host("h", "20.0.0.1", residential_site())
+        assert host.country_code == "US"
+        assert host.location.lat == pytest.approx(40.0)
+        assert hash(host) == hash("20.0.0.1")
+
+    def test_ephemeral_ports_unique_until_wrap(self, network):
+        host = network.add_host("h", "20.0.0.1", residential_site())
+        ports = [host.ephemeral_port() for _ in range(1000)]
+        assert len(set(ports)) == 1000
+        assert all(49152 <= p <= 65535 for p in ports)
+
+    def test_ephemeral_port_wraps(self, network):
+        host = network.add_host("h", "20.0.0.1", residential_site())
+        host._next_ephemeral = 65535
+        assert host.ephemeral_port() == 65535
+        assert host.ephemeral_port() == 49152
+
+    def test_busy_advances_time(self, sim, network):
+        host = network.add_host("h", "20.0.0.1", residential_site())
+
+        def work():
+            yield host.busy(12.5)
+            return sim.now
+
+        assert sim.run_process(work()) == pytest.approx(12.5)
+
+    def test_busy_negative_clamped(self, sim, network):
+        host = network.add_host("h", "20.0.0.1", residential_site())
+
+        def work():
+            yield host.busy(-5.0)
+            return sim.now
+
+        assert sim.run_process(work()) == 0.0

@@ -1,0 +1,88 @@
+"""BrightData timing-header codec tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http.message import HeaderBag
+from repro.proxy.headers import (
+    TIMELINE_HEADER,
+    TUN_TIMELINE_HEADER,
+    TimelineHeaders,
+    decode_timeline,
+    encode_timeline,
+)
+
+
+class TestCodec:
+    def test_encode_shape(self):
+        text = encode_timeline({"dns": 23.4, "connect": 41.0})
+        assert text == "dns:23.40;connect:41.00"
+
+    def test_decode(self):
+        values = decode_timeline("dns:23.40;connect:41.00")
+        assert values == {"dns": 23.4, "connect": 41.0}
+
+    def test_decode_tolerates_whitespace_and_empties(self):
+        values = decode_timeline(" dns:1.5 ; ;connect:2 ")
+        assert values == {"dns": 1.5, "connect": 2.0}
+
+    def test_decode_empty(self):
+        assert decode_timeline("") == {}
+
+    def test_malformed_element_rejected(self):
+        with pytest.raises(ValueError):
+            decode_timeline("dns-23")
+
+    def test_illegal_key_rejected(self):
+        with pytest.raises(ValueError):
+            encode_timeline({"a;b": 1.0})
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdefgh_", min_size=1, max_size=8),
+            st.floats(min_value=0.0, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            max_size=6,
+        )
+    )
+    def test_roundtrip_within_precision(self, values):
+        decoded = decode_timeline(encode_timeline(values))
+        assert set(decoded) == set(values)
+        for key in values:
+            assert decoded[key] == pytest.approx(values[key], abs=0.005)
+
+
+class TestTimelineHeaders:
+    def test_quantities(self):
+        headers = TimelineHeaders(
+            tun={"dns": 30.0, "connect": 50.0},
+            box={"auth": 1.0, "init": 2.0, "select": 3.0,
+                 "init_exit": 10.0, "validate": 1.0, "exit": 0.5},
+        )
+        assert headers.dns_ms == 30.0
+        assert headers.connect_ms == 50.0
+        assert headers.brightdata_ms == pytest.approx(17.5)
+
+    def test_missing_values_default_to_zero(self):
+        headers = TimelineHeaders(tun={}, box={})
+        assert headers.dns_ms == 0.0
+        assert headers.connect_ms == 0.0
+        assert headers.brightdata_ms == 0.0
+
+    def test_http_header_roundtrip(self):
+        original = TimelineHeaders(
+            tun={"dns": 12.5, "connect": 34.25},
+            box={"auth": 0.5, "init_exit": 8.0},
+        )
+        bag = HeaderBag()
+        original.apply(bag)
+        assert TUN_TIMELINE_HEADER in bag
+        assert TIMELINE_HEADER in bag
+        parsed = TimelineHeaders.from_headers(bag)
+        assert parsed.dns_ms == pytest.approx(12.5)
+        assert parsed.connect_ms == pytest.approx(34.25)
+        assert parsed.brightdata_ms == pytest.approx(8.5)
+
+    def test_from_headers_without_headers(self):
+        parsed = TimelineHeaders.from_headers(HeaderBag())
+        assert parsed.tun == {} and parsed.box == {}

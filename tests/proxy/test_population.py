@@ -1,0 +1,170 @@
+"""Population builder tests: counts fit, sites, resolver assignment."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.geo.countries import COUNTRIES, country
+from repro.proxy.population import (
+    PopulationConfig,
+    ResolverKind,
+    client_site_for,
+    country_has_remote_resolvers,
+    country_resolver_quality,
+    fit_population_counts,
+    resolver_site_for,
+)
+
+
+class TestCountFitting:
+    def test_total_close_to_paper(self):
+        counts = fit_population_counts(
+            {code: c.target_clients for code, c in COUNTRIES.items()}
+        )
+        assert abs(sum(counts.values()) - 22052) < 600
+
+    def test_cap_enforced(self):
+        counts = fit_population_counts(
+            {code: c.target_clients for code, c in COUNTRIES.items()}
+        )
+        assert max(counts.values()) <= 282
+
+    def test_median_near_target(self):
+        counts = fit_population_counts(
+            {code: c.target_clients for code, c in COUNTRIES.items()}
+        )
+        analysed = [v for v in counts.values() if v >= 10]
+        assert 60 <= statistics.median(analysed) <= 150
+
+    def test_small_territories_stay_excluded(self):
+        counts = fit_population_counts(
+            {code: c.target_clients for code, c in COUNTRIES.items()}
+        )
+        excluded = [code for code, v in counts.items() if v < 10]
+        assert len(excluded) >= 15  # the paper excluded 25
+
+    def test_scale_shrinks_counts(self):
+        full = PopulationConfig().scaled_counts()
+        small = PopulationConfig(scale=0.1).scaled_counts()
+        assert sum(small.values()) < 0.2 * sum(full.values())
+
+    def test_analyzed_threshold_scales(self):
+        assert PopulationConfig().analyzed_threshold == 10
+        assert PopulationConfig(scale=0.1).analyzed_threshold < 10
+
+
+class TestSiteDerivation:
+    def test_low_bandwidth_country_has_worse_access(self):
+        rng = random.Random(1)
+        chad = [client_site_for(country("TD"), rng) for _ in range(60)]
+        rng = random.Random(1)
+        korea = [client_site_for(country("KR"), rng) for _ in range(60)]
+        assert statistics.median(
+            s.last_mile_ms for s in chad
+        ) > statistics.median(s.last_mile_ms for s in korea)
+        assert statistics.median(
+            s.bandwidth_mbps for s in chad
+        ) < statistics.median(s.bandwidth_mbps for s in korea)
+
+    def test_low_as_count_means_more_stretch(self):
+        rng = random.Random(2)
+        low = client_site_for(country("TD"), rng)
+        high = client_site_for(country("US"), rng)
+        assert low.path_stretch > high.path_stretch
+
+    def test_intl_surcharge_favours_rich_countries(self):
+        rng = random.Random(3)
+        poor = client_site_for(country("SD"), rng)
+        rich = client_site_for(country("CH"), rng)
+        assert poor.intl_extra_ms > rich.intl_extra_ms
+        assert rich.intl_extra_ms == pytest.approx(0.0, abs=2.0)
+
+    def test_client_located_near_country(self):
+        from repro.geo.coords import geodesic_km
+
+        rng = random.Random(4)
+        for code in ("BR", "JP", "KE", "IS"):
+            profile = country(code)
+            site = client_site_for(profile, rng)
+            assert geodesic_km(site.location, profile.location) < 4500.0
+
+    def test_resolver_site_is_core_infrastructure(self):
+        rng = random.Random(5)
+        site = resolver_site_for(country("DE"), rng)
+        assert site.datacenter
+        assert site.last_mile_ms < 1.0
+        assert site.country_code == "DE"
+
+    def test_resolver_site_override(self):
+        from repro.geo.coords import LatLon
+
+        rng = random.Random(6)
+        site = resolver_site_for(
+            country("TD"), rng,
+            location=LatLon(51.5, -0.1), site_country="GB",
+        )
+        assert site.country_code == "GB"
+        assert site.location.lat == pytest.approx(51.5)
+
+
+class TestCountryHashes:
+    def test_quality_deterministic(self):
+        assert country_resolver_quality("BR") == country_resolver_quality("BR")
+
+    def test_quality_bounded(self):
+        for code in COUNTRIES:
+            assert 0.4 <= country_resolver_quality(code) <= 15.0
+
+    def test_quality_varies(self):
+        values = {round(country_resolver_quality(c), 3) for c in COUNTRIES}
+        assert len(values) > 50
+
+    def test_some_remote_resolver_countries(self):
+        remote = [c for c in COUNTRIES if country_has_remote_resolvers(c)]
+        assert 0.05 * len(COUNTRIES) <= len(remote) <= 0.30 * len(COUNTRIES)
+
+
+class TestBuiltPopulation(object):
+    def test_fleet_size_matches_counts(self, small_world):
+        population = small_world.population
+        assert len(population.nodes) == sum(population.counts.values())
+
+    def test_every_node_enrolled(self, small_world):
+        pn = small_world.proxy_network
+        for node in small_world.nodes()[:200]:
+            assert pn.nodes[node.node_id] is node
+
+    def test_mislabel_rate_plausible(self, small_world):
+        nodes = small_world.nodes()
+        rate = sum(1 for n in nodes if n.mislabeled) / len(nodes)
+        assert rate < 0.05
+
+    def test_resolver_kinds_distribution(self, small_world):
+        population = small_world.population
+        kinds = list(population.resolver_kind.values())
+        isp = kinds.count(ResolverKind.ISP)
+        assert isp / len(kinds) > 0.5  # ISP is the common case
+        assert ResolverKind.OVERLOADED in kinds
+        assert ResolverKind.FOREIGN in kinds
+
+    def test_nodes_geolocatable(self, small_world):
+        for node in small_world.nodes()[:100]:
+            located = small_world.geolocation.lookup_country(node.ip)
+            assert located == node.true_country
+
+    def test_censored_nodes_have_blocked_hosts(self, small_world):
+        censored_nodes = [
+            n for n in small_world.nodes()
+            if COUNTRIES[n.true_country].censored
+        ]
+        assert censored_nodes
+        for node in censored_nodes:
+            assert "cloudflare-dns.com" in node.blocked_hosts
+
+    def test_os_cache_present_on_some_nodes(self, small_world):
+        cached = sum(
+            1 for n in small_world.nodes() if n.os_dns_cache
+        )
+        assert cached > 0.5 * len(small_world.nodes())

@@ -1,0 +1,142 @@
+"""Super Proxy and exit-node edge cases and error paths."""
+
+import random
+
+import pytest
+
+from repro.core.client import MeasurementClient
+from repro.http.message import HttpRequest, HttpResponse
+from repro.proxy.superproxy import (
+    PROXY_PORT,
+    _parse_absolute_url,
+    _parse_connect_target,
+)
+
+
+class TestTargetParsing:
+    def test_connect_target_ok(self):
+        host, port, error = _parse_connect_target("example.com:443")
+        assert (host, port, error) == ("example.com", 443, "")
+
+    def test_connect_target_missing_port(self):
+        _h, _p, error = _parse_connect_target("example.com")
+        assert error
+
+    def test_connect_target_bad_port(self):
+        _h, _p, error = _parse_connect_target("example.com:abc")
+        assert error
+        _h, _p, error = _parse_connect_target("example.com:70000")
+        assert error
+
+    def test_connect_target_ipv6ish_colons(self):
+        host, port, error = _parse_connect_target("a:b:443")
+        assert not error and host == "a:b" and port == 443
+
+    def test_absolute_url_ok(self):
+        host, path, error = _parse_absolute_url("http://x.a.com/p/q")
+        assert (host, path, error) == ("x.a.com", "/p/q", "")
+
+    def test_absolute_url_root_path(self):
+        host, path, error = _parse_absolute_url("http://x.a.com")
+        assert (host, path, error) == ("x.a.com", "/", "")
+
+    def test_absolute_url_requires_scheme(self):
+        _h, _p, error = _parse_absolute_url("https://x.a.com/")
+        assert error
+        _h, _p, error = _parse_absolute_url("/relative")
+        assert error
+
+    def test_absolute_url_missing_host(self):
+        _h, _p, error = _parse_absolute_url("http:///path")
+        assert error
+
+
+class TestProxyErrorPaths:
+    @pytest.fixture()
+    def client(self, small_world):
+        return MeasurementClient(
+            small_world.client_host, random.Random(77)
+        )
+
+    def _send_raw(self, small_world, request):
+        sp = small_world.super_proxies[0]
+
+        def run():
+            conn = yield from small_world.client_host.open_tcp(
+                sp.host.ip, PROXY_PORT
+            )
+            conn.send(request, request.wire_size())
+            response = yield conn.recv(timeout_ms=30000)
+            conn.close()
+            return response
+
+        return small_world.run(run())
+
+    def test_malformed_connect_rejected(self, small_world):
+        request = HttpRequest(method="CONNECT", target="noport")
+        request.headers.set("X-BD-Country", "BR")
+        response = self._send_raw(small_world, request)
+        assert isinstance(response, HttpResponse)
+        assert response.status == 400
+
+    def test_unsupported_method_rejected(self, small_world):
+        request = HttpRequest(method="DELETE", target="http://x.a.com/")
+        request.headers.set("X-BD-Country", "BR")
+        response = self._send_raw(small_world, request)
+        assert response.status == 400
+
+    def test_relative_get_rejected(self, small_world):
+        request = HttpRequest(method="GET", target="/not-absolute")
+        request.headers.set("X-BD-Country", "BR")
+        response = self._send_raw(small_world, request)
+        assert response.status == 400
+
+    def test_fetch_of_unresolvable_host(self, small_world, client):
+        # The exit node's resolver answers NXDOMAIN for this name; the
+        # Super Proxy reports a gateway failure with the error header.
+        sp = small_world.super_proxies[0]
+
+        def run():
+            conn = yield from small_world.client_host.open_tcp(
+                sp.host.ip, PROXY_PORT
+            )
+            request = HttpRequest(
+                method="GET", target="http://nxdomain.invalid-zone.com/"
+            )
+            request.headers.set("X-BD-Country", "BR")
+            conn.send(request, request.wire_size())
+            response = yield conn.recv(timeout_ms=30000)
+            conn.close()
+            return response
+
+        response = small_world.run(run())
+        assert not response.ok
+        assert response.headers.get("X-BD-Error")
+
+    def test_non_http_payload_closes_connection(self, small_world):
+        sp = small_world.super_proxies[0]
+
+        def run():
+            from repro.netsim.sockets import ConnectionClosed
+
+            conn = yield from small_world.client_host.open_tcp(
+                sp.host.ip, PROXY_PORT
+            )
+            conn.send(b"garbage", 7)
+            with pytest.raises(ConnectionClosed):
+                yield conn.recv(timeout_ms=30000)
+
+        small_world.run(run())
+
+    def test_counters_increase(self, small_world, client):
+        sp = small_world.super_proxies[0]
+        before = sp.fetches_served
+        node = next(
+            n for n in small_world.nodes()
+            if n.claimed_country == "BR" and not n.mislabeled
+        )
+        raw = small_world.run(
+            client.measure_do53(sp, "BR", node_id=node.node_id)
+        )
+        assert raw.success
+        assert sp.fetches_served == before + 1

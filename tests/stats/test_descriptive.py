@@ -1,0 +1,97 @@
+"""Descriptive-statistics tests with hypothesis invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.descriptive import (
+    empirical_cdf,
+    mean,
+    median,
+    percentile,
+    stddev,
+)
+
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+samples = st.lists(floats, min_size=1, max_size=200)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_stddev(self):
+        assert stddev([2.0, 2.0, 2.0]) == 0.0
+        assert stddev([0.0, 4.0]) == 2.0
+
+    def test_percentile_bounds(self):
+        values = [float(v) for v in range(11)]
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 100) == 10.0
+        assert percentile(values, 50) == 5.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestCdf:
+    def test_small_sample_exact(self):
+        curve = empirical_cdf([3.0, 1.0, 2.0])
+        assert curve == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+    def test_subsampled_curve(self):
+        values = [float(v) for v in range(1000)]
+        curve = empirical_cdf(values, points=10)
+        assert len(curve) == 10
+        assert curve[-1][1] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert empirical_cdf([]) == []
+
+    @given(samples)
+    def test_cdf_monotone(self, values):
+        curve = empirical_cdf(values, points=50)
+        xs = [x for x, _ in curve]
+        ys = [y for _, y in curve]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert all(0.0 < y <= 1.0 for y in ys)
+
+
+class TestProperties:
+    @given(samples)
+    def test_median_between_min_max(self, values):
+        assert min(values) <= median(values) <= max(values)
+
+    @given(samples)
+    def test_percentile_monotone_in_q(self, values):
+        previous = None
+        for q in (0, 25, 50, 75, 100):
+            current = percentile(values, q)
+            if previous is not None:
+                assert current >= previous - 1e-9
+            previous = current
+
+    @given(samples, floats)
+    def test_mean_shift_invariance(self, values, shift):
+        shifted = [v + shift for v in values]
+        assert mean(shifted) == pytest.approx(mean(values) + shift,
+                                              rel=1e-6, abs=1e-6)
+
+    @given(samples)
+    def test_stddev_nonnegative(self, values):
+        assert stddev(values) >= 0.0

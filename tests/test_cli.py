@@ -1,0 +1,94 @@
+"""CLI and CSV-export tests."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.dataset.csvio import export_csv, load_csv
+
+
+class TestCsvRoundtrip:
+    def test_export_creates_three_files(self, dataset, tmp_path):
+        paths = export_csv(dataset, str(tmp_path))
+        assert set(paths) == {"clients", "doh", "do53"}
+        for path in paths.values():
+            assert os.path.exists(path)
+            assert os.path.getsize(path) > 0
+
+    def test_roundtrip_preserves_records(self, dataset, tmp_path):
+        export_csv(dataset, str(tmp_path))
+        loaded = load_csv(
+            str(tmp_path),
+            min_clients_per_country=dataset.min_clients_per_country,
+        )
+        assert len(loaded.clients) == len(dataset.clients)
+        assert len(loaded.doh) == len(dataset.doh)
+        assert len(loaded.do53) == len(dataset.do53)
+        assert loaded.clients[0] == dataset.clients[0]
+        assert loaded.doh[0] == dataset.doh[0]
+        assert loaded.do53[0] == dataset.do53[0]
+
+    def test_roundtrip_preserves_analysis(self, dataset, tmp_path):
+        from repro.analysis.slowdown import headline_stats
+
+        export_csv(dataset, str(tmp_path))
+        loaded = load_csv(
+            str(tmp_path),
+            min_clients_per_country=dataset.min_clients_per_country,
+        )
+        original = headline_stats(dataset)
+        rebuilt = headline_stats(loaded)
+        assert rebuilt.median_doh1_ms == pytest.approx(
+            original.median_doh1_ms
+        )
+        assert rebuilt.n_client_provider_pairs == \
+            original.n_client_provider_pairs
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "exit nodes:" in out
+        assert "cloudflare" in out
+
+    def test_campaign_and_analyze(self, tmp_path, capsys):
+        out_path = str(tmp_path / "ds.json")
+        csv_dir = str(tmp_path / "csv")
+        code = main([
+            "campaign", "--scale", "0.015", "--seed", "5",
+            "--out", out_path, "--csv-dir", csv_dir,
+            "--atlas-probes", "2",
+        ])
+        assert code == 0
+        assert os.path.exists(out_path)
+        assert os.path.exists(os.path.join(csv_dir, "doh.csv"))
+        capsys.readouterr()
+
+        for artifact in ("headlines", "table3", "figure6", "figure7",
+                         "providers"):
+            assert main(["analyze", out_path, "--artifact", artifact]) == 0
+            out = capsys.readouterr().out
+            assert out.strip(), artifact
+
+    def test_analyze_table4_needs_enough_data(self, tmp_path, capsys,
+                                              dataset):
+        path = str(tmp_path / "full.json")
+        dataset.save(path)
+        assert main(["analyze", path, "--artifact", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth" in out
+
+    def test_groundtruth(self, capsys):
+        code = main([
+            "groundtruth", "--scale", "0.004", "--repetitions", "2",
+            "--seed", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,233 @@
+"""TLS handshake tests: version round trips, resumption, framing."""
+
+import pytest
+
+from repro.netsim.sockets import ConnectionClosed
+from repro.tls.handshake import (
+    TlsError,
+    TlsVersion,
+    client_handshake,
+    server_handshake,
+)
+from repro.tls.session import RECORD_OVERHEAD_BYTES, TlsConnection
+from tests.conftest import datacenter_site, residential_site
+
+
+@pytest.fixture()
+def endpoints(network):
+    client = network.add_host("client", "20.0.0.1", residential_site())
+    server = network.add_host(
+        "server", "20.0.1.1", datacenter_site(48.9, 2.4, "FR")
+    )
+    return client, server
+
+
+_PORT_COUNTER = [4430]
+
+
+def run_handshake(sim, network, endpoints, version, ticket=None,
+                  server_kwargs=None):
+    client, server = endpoints
+    _PORT_COUNTER[0] += 1
+    port = _PORT_COUNTER[0]
+    results = {"port": port}
+
+    def server_side(conn):
+        result = yield from server_handshake(conn, **(server_kwargs or {}))
+        results["server"] = result
+        stream = TlsConnection(conn, result, is_client=False)
+        while True:
+            try:
+                payload = yield stream.recv()
+            except ConnectionClosed:
+                return
+            stream.send(("echo", payload), 100)
+
+    server.listen_tcp(port, server_side)
+
+    def client_side():
+        conn = yield from client.open_tcp("20.0.1.1", port)
+        result = yield from client_handshake(
+            conn, sni="example.test", version=version, ticket=ticket
+        )
+        results["client"] = result
+        stream = TlsConnection(conn, result, is_client=True)
+        stream.send("hello", 50)
+        reply = yield stream.recv()
+        results["reply"] = reply
+        stream.close()
+
+    sim.run_process(client_side())
+    return results
+
+
+class TestTls13:
+    def test_completes_and_echoes(self, sim, network, endpoints):
+        results = run_handshake(sim, network, endpoints, TlsVersion.TLS13)
+        assert results["client"].version == TlsVersion.TLS13
+        assert results["reply"] == ("echo", "hello")
+
+    def test_single_round_trip(self, sim, network, endpoints):
+        client, server = endpoints
+        results = run_handshake(sim, network, endpoints, TlsVersion.TLS13)
+        handshake = results["client"].handshake_ms
+        # One round trip NY<->Paris is ~60-130ms with jitter; two would
+        # be >140.
+        assert 50.0 <= handshake <= 140.0
+
+    def test_ticket_issued(self, sim, network, endpoints):
+        results = run_handshake(sim, network, endpoints, TlsVersion.TLS13)
+        assert results["client"].ticket is not None
+        assert not results["client"].resumed
+
+    def test_resumption_accepted(self, sim, network, endpoints):
+        first = run_handshake(sim, network, endpoints, TlsVersion.TLS13)
+        ticket = first["client"].ticket
+        client, server = endpoints
+
+        def resume():
+            conn = yield from client.open_tcp("20.0.1.1", first["port"])
+            result = yield from client_handshake(
+                conn, sni="example.test", version=TlsVersion.TLS13,
+                ticket=ticket,
+            )
+            conn.close()
+            return result
+
+        result = sim.run_process(resume())
+        assert result.resumed
+
+    def test_early_data_reaches_server(self, sim, network, endpoints):
+        client, server = endpoints
+        seen = {}
+
+        def server_side(conn):
+            result = yield from server_handshake(conn)
+            seen["early"] = result.early_data
+
+        server.listen_tcp(8443, server_side)
+
+        first = run_handshake(sim, network, endpoints, TlsVersion.TLS13)
+
+        def resume():
+            conn = yield from client.open_tcp("20.0.1.1", 8443)
+            yield from client_handshake(
+                conn, sni="example.test",
+                ticket=first["client"].ticket,
+                early_data="GET /", early_data_bytes=90,
+            )
+            conn.close()
+
+        sim.run_process(resume())
+        assert seen["early"] == "GET /"
+
+
+class TestTls12:
+    def test_two_round_trips(self, sim, network, endpoints):
+        t13 = run_handshake(sim, network, endpoints, TlsVersion.TLS13)
+        t12 = run_handshake(sim, network, endpoints, TlsVersion.TLS12)
+        assert (
+            t12["client"].handshake_ms
+            > 1.5 * t13["client"].handshake_ms
+        )
+
+    def test_completes_and_echoes(self, sim, network, endpoints):
+        results = run_handshake(sim, network, endpoints, TlsVersion.TLS12)
+        assert results["reply"] == ("echo", "hello")
+        assert results["server"].version == TlsVersion.TLS12
+
+
+class TestErrors:
+    def test_unknown_version_rejected(self, sim, network, endpoints):
+        client, _ = endpoints
+
+        def run():
+            conn = yield from client.open_tcp("20.0.1.1", 443)
+            with pytest.raises(TlsError):
+                yield from client_handshake(conn, sni="x", version="SSLv3")
+
+        def noop(conn):
+            return
+            yield  # pragma: no cover
+
+        _, server = endpoints
+        server.listen_tcp(443, noop)
+        sim.run_process(run())
+
+    def test_ticket_requires_tls13(self, sim, network, endpoints):
+        client, server = endpoints
+
+        def noop(conn):
+            return
+            yield
+
+        server.listen_tcp(443, noop)
+
+        def run():
+            conn = yield from client.open_tcp("20.0.1.1", 443)
+            yield from client_handshake(
+                conn, sni="x", version=TlsVersion.TLS12, ticket=object()
+            )
+
+        with pytest.raises(TlsError):
+            sim.run_process(run())
+
+    def test_server_version_restriction(self, sim, network, endpoints):
+        results = {}
+        client, server = endpoints
+
+        def server_side(conn):
+            try:
+                yield from server_handshake(
+                    conn, supported_versions=(TlsVersion.TLS13,)
+                )
+            except TlsError as exc:
+                results["error"] = str(exc)
+                conn.close()
+
+        server.listen_tcp(443, server_side)
+
+        def client_side():
+            conn = yield from client.open_tcp("20.0.1.1", 443)
+            try:
+                yield from client_handshake(
+                    conn, sni="x", version=TlsVersion.TLS12
+                )
+            except (TlsError, ConnectionClosed):
+                return "failed"
+            return "ok"
+
+        assert sim.run_process(client_side()) == "failed"
+        assert "unsupported" in results["error"]
+
+
+class TestRecordFraming:
+    def test_first_record_carries_finished(self, sim, network, endpoints):
+        client, server = endpoints
+        sizes = []
+
+        def server_side(conn):
+            result = yield from server_handshake(conn)
+            while True:
+                try:
+                    _payload, nbytes = yield conn.recv_sized()
+                except ConnectionClosed:
+                    return
+                sizes.append(nbytes)
+
+        server.listen_tcp(443, server_side)
+
+        def client_side():
+            conn = yield from client.open_tcp("20.0.1.1", 443)
+            result = yield from client_handshake(conn, sni="x")
+            stream = TlsConnection(conn, result, is_client=True)
+            stream.send("first", 100)
+            stream.send("second", 100)
+            yield sim.timeout(5000.0)
+            conn.close()
+
+        sim.run_process(client_side())
+        assert len(sizes) == 2
+        # The first record is bigger: it carries the client Finished.
+        assert sizes[0] > sizes[1]
+        assert sizes[1] >= 100 + RECORD_OVERHEAD_BYTES

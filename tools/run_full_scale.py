@@ -1,0 +1,111 @@
+"""Run the campaign at the paper's full scale (22,052 clients).
+
+Writes the dataset and a summary report under results/full_scale/.
+
+Run:  python tools/run_full_scale.py [seed]
+"""
+
+import gc
+import os
+import sys
+import time
+
+from repro.analysis.figures import figure3_clients_per_country
+from repro.analysis.geography import (
+    country_medians,
+    share_of_countries_benefiting,
+)
+from repro.analysis.pops import pop_distance_stats
+from repro.analysis.providers import provider_summaries
+from repro.analysis.report import render_table3, render_table4
+from repro.analysis.slowdown import headline_stats
+from repro.analysis.tables import table3_dataset_composition, table4_logistic
+from repro.core.campaign import Campaign
+from repro.core.config import ReproConfig
+from repro.core.world import build_world
+from repro.proxy.population import PopulationConfig
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 20210402
+    out_dir = os.path.join("results", "full_scale")
+    os.makedirs(out_dir, exist_ok=True)
+    lines = []
+
+    def emit(text=""):
+        print(text, flush=True)
+        lines.append(text)
+
+    started = time.time()
+    config = ReproConfig(seed=seed, population=PopulationConfig(scale=1.0))
+    world = build_world(config)
+    # The built world is permanent: freeze it out of the GC's view so
+    # collections during the campaign only trace young objects.
+    gc.collect()
+    gc.freeze()
+    emit("world built in {:.0f}s: {} hosts, {} exit nodes".format(
+        time.time() - started, len(world.network), len(world.nodes())))
+
+    campaign_started = time.time()
+
+    def progress(done, total):
+        if done % 4000 < 400 or done == total:
+            print("  measured {}/{} nodes ({:.0f}s)".format(
+                done, total, time.time() - campaign_started), flush=True)
+
+    result = Campaign(world, atlas_probes_per_country=25,
+                      atlas_repetitions=5).run(progress=progress)
+    dataset = result.dataset
+    emit("campaign in {:.0f}s".format(time.time() - campaign_started))
+    emit(dataset.summary())
+    emit("discard rate {:.4f} (paper 0.0088)".format(result.discard_rate))
+    emit()
+
+    h = headline_stats(dataset)
+    emit("headlines: doh1 {:.0f} (415)  do53 {:.0f} (234)  dohr {:.0f}"
+         .format(h.median_doh1_ms, h.median_do53_ms, h.median_dohr_ms))
+    emit("delta10 {:.0f} (65)  spd1 {:.3f} (0.191)  spd10 {:.3f} (0.28)"
+         "  tripled {:.3f} (0.10)".format(
+             h.median_delta10_ms, h.share_speedup_doh1,
+             h.share_speedup_doh10, h.share_tripled_doh1))
+    emit("multipliers {} (1.84/1.24/1.18/1.17)".format(
+        "/".join("{:.2f}".format(h.median_multipliers[n])
+                 for n in (1, 10, 100, 1000))))
+    c_doh, c_do53 = country_medians(dataset)
+    emit("country medians {:.0f}/{:.0f} (564.7/332.9)  benefiting {:.3f}"
+         " (0.088)".format(c_doh, c_do53,
+                           share_of_countries_benefiting(dataset)))
+    emit()
+
+    fig3 = figure3_clients_per_country(dataset)
+    emit("figure3: median {:.0f} (103)  >=200 share {:.2f} (0.17)  "
+         "range [{}, {}] (10-282)".format(
+             fig3.median_clients, fig3.share_with_200_plus,
+             fig3.minimum, fig3.maximum))
+    emit()
+
+    for s in provider_summaries(dataset):
+        emit("{:<11} doh1 {:>4.0f}  dohr {:>4.0f}  pops {:>3}".format(
+            s.provider, s.median_doh1_ms, s.median_dohr_ms,
+            s.observed_pops))
+    emit()
+    for s in pop_distance_stats(dataset):
+        emit("{:<11} improve {:>4.0f}mi  nearest {:.2f}  >1000mi {:.2f}"
+             .format(s.provider, s.median_improvement_miles,
+                     s.share_nearest, s.share_over_1000_miles))
+    emit()
+    emit(render_table3(table3_dataset_composition(dataset)))
+    emit()
+    rows, _models = table4_logistic(dataset)
+    emit(render_table4(rows))
+
+    dataset.save(os.path.join(out_dir, "dataset.json"))
+    with open(os.path.join(out_dir, "summary.txt"), "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    emit()
+    emit("total wall time {:.0f}s; outputs in {}".format(
+        time.time() - started, out_dir))
+
+
+if __name__ == "__main__":
+    main()
