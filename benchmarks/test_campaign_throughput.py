@@ -12,6 +12,7 @@ from repro.core.client import MeasurementClient
 from repro.core.config import ReproConfig
 from repro.core.world import build_world
 from repro.doh.provider import PROVIDER_CONFIGS
+from repro.geo.coords import geodesic_cache_info
 from repro.proxy.population import PopulationConfig
 
 
@@ -45,3 +46,51 @@ def test_measurement_throughput(benchmark):
         return raw
 
     benchmark.pedantic(one_measurement, rounds=40, iterations=1)
+
+
+def test_hot_path_caches_are_hit():
+    """The geodesic and latency base-delay caches must actually fire.
+
+    Measurements revisit the same (src, dst) site pairs constantly —
+    every retransmission, every run, every provider leg.  If either
+    cache silently stops being consulted (a refactor changing the call
+    path, an unhashable key sneaking in), the full-scale run quietly
+    loses its headroom; assert on the counters, not just on timing.
+    """
+    config = ReproConfig(seed=7, population=PopulationConfig(scale=0.01))
+    world = build_world(config)
+    client = MeasurementClient(world.client_host, random.Random(2))
+    nodes = [
+        node for node in world.nodes()
+        if node.claimed_country == node.true_country
+        and not node.blocked_hosts
+    ][:20]
+    provider = PROVIDER_CONFIGS["cloudflare"]
+
+    geo_before = geodesic_cache_info()
+    latency = world.network.latency
+    base_hits_before = latency.base_cache_hits
+
+    for node in nodes:
+        super_proxy = world.proxy_network.nearest_super_proxy(
+            node.host.location
+        )
+        for _ in range(2):  # second pass re-measures identical paths
+            raw = world.run(
+                client.measure_doh(
+                    super_proxy, provider, node.claimed_country,
+                    node_id=node.node_id,
+                )
+            )
+            assert raw.success, raw.error
+
+    geo_after = geodesic_cache_info()
+    assert geo_after.hits > geo_before.hits, (
+        "geodesic_km LRU saw no hits: {} -> {}".format(
+            geo_before, geo_after
+        )
+    )
+    assert latency.base_cache_hits > base_hits_before
+    # Repeated paths dominate: the base-delay cache should hit far more
+    # often than it misses once warmed.
+    assert latency.base_cache_hits > latency.base_cache_misses

@@ -26,6 +26,7 @@ from repro.core.config import ReproConfig
 from repro.core.groundtruth import GroundTruthHarness
 from repro.core.world import World, build_world
 from repro.dataset.store import Dataset
+from repro.parallel import run_parallel_campaign
 
 __version__ = "1.0.0"
 
@@ -37,5 +38,6 @@ __all__ = [
     "ReproConfig",
     "World",
     "build_world",
+    "run_parallel_campaign",
     "__version__",
 ]

@@ -11,6 +11,7 @@ Commands:
 Examples::
 
     python -m repro campaign --scale 0.05 --out dataset.json
+    python -m repro campaign --scale 1.0 --workers 4 --out dataset.json
     python -m repro analyze dataset.json --artifact headlines
     python -m repro analyze dataset.json --artifact table4
     python -m repro groundtruth --repetitions 10
@@ -57,6 +58,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="additionally export CSVs to this directory")
     campaign.add_argument("--atlas-probes", type=int, default=8,
                           help="RIPE Atlas probes per super-proxy country")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the sharded executor "
+                               "(1 = serial; see docs/performance.md)")
+    campaign.add_argument("--shards", type=int, default=None,
+                          help="fleet shard count (part of the experiment "
+                               "definition; default 8 when sharded)")
 
     analyze = sub.add_parser(
         "analyze", help="regenerate a paper artifact from a dataset"
@@ -83,15 +90,28 @@ def _cmd_campaign(args) -> int:
         seed=args.seed, population=PopulationConfig(scale=args.scale)
     )
     started = time.time()
-    print("building world (scale={}, seed={})...".format(
-        args.scale, args.seed))
-    world = build_world(config)
-    print("  {} hosts, {} exit nodes".format(
-        len(world.network), len(world.nodes())))
-    print("running campaign...")
-    result = Campaign(
-        world, atlas_probes_per_country=args.atlas_probes
-    ).run()
+    if args.workers != 1 or args.shards is not None:
+        from repro.parallel import run_parallel_campaign
+
+        print("running sharded campaign (scale={}, seed={}, workers={}, "
+              "shards={})...".format(args.scale, args.seed, args.workers,
+                                     args.shards or "default"))
+        result = run_parallel_campaign(
+            config,
+            workers=args.workers,
+            num_shards=args.shards,
+            atlas_probes_per_country=args.atlas_probes,
+        )
+    else:
+        print("building world (scale={}, seed={})...".format(
+            args.scale, args.seed))
+        world = build_world(config)
+        print("  {} hosts, {} exit nodes".format(
+            len(world.network), len(world.nodes())))
+        print("running campaign...")
+        result = Campaign(
+            world, atlas_probes_per_country=args.atlas_probes
+        ).run()
     dataset = result.dataset
     print("  " + dataset.summary())
     print("  discard rate {:.2%}".format(result.discard_rate))

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.atlas.api import AtlasClient
 from repro.atlas.probes import build_probes
@@ -34,9 +34,14 @@ from repro.dataset.builder import DatasetBuilder
 from repro.dataset.store import Dataset
 from repro.doh.provider import PROVIDER_CONFIGS
 from repro.geo.countries import COUNTRIES, SUPER_PROXY_COUNTRIES
+from repro.netsim.engine import SimulationError
 from repro.proxy.exitnode import ExitNode
 
-__all__ = ["Campaign", "CampaignResult"]
+__all__ = ["AtlasRawSample", "Campaign", "CampaignResult"]
+
+#: One successful Atlas resolution in raw, mergeable form:
+#: ``(probe_id, country, result_index, time_ms)``.
+AtlasRawSample = Tuple[str, str, int, float]
 
 
 @dataclass
@@ -67,27 +72,61 @@ class Campaign:
         world: World,
         atlas_probes_per_country: int = 20,
         atlas_repetitions: int = 2,
+        client_seed: Optional[int] = None,
+        client_name_tag: str = "",
     ) -> None:
+        """*client_seed*/*client_name_tag* isolate the measurement
+        client's RNG stream and query-name namespace; the sharded
+        executor derives both from the shard index so shards diverge
+        deterministically (``repro.parallel``).  The defaults reproduce
+        the single-process campaign exactly.
+        """
         self.world = world
         self.atlas_probes_per_country = atlas_probes_per_country
         self.atlas_repetitions = atlas_repetitions
+        if client_seed is None:
+            client_seed = world.config.seed + 1
         self.client = MeasurementClient(
             world.client_host,
-            random.Random(world.config.seed + 1),
+            random.Random(client_seed),
             measurement_domain=world.config.measurement_domain,
             tls_version=world.config.tls_version,
+            name_tag=client_name_tag,
         )
+        # Hot-path lookups hoisted out of the 22k-iteration node loop:
+        # the provider list is per-config constant and the super-proxy
+        # choice only depends on the (per-country) profile location.
+        self._providers = [
+            PROVIDER_CONFIGS[name] for name in world.config.providers
+        ]
+        self._super_proxy_by_country: Dict[str, object] = {}
 
     # -- per-node measurement plan -------------------------------------------
+
+    def _super_proxy_for(self, node: ExitNode):
+        country = node.claimed_country
+        cached = self._super_proxy_by_country.get(country)
+        if cached is not None:
+            return cached
+        profile = COUNTRIES.get(country)
+        if profile is None:
+            # No profile to anchor on: fall back to the node's own
+            # location (not cacheable per country).
+            return self.world.proxy_network.nearest_super_proxy(
+                node.host.location
+            )
+        super_proxy = self.world.proxy_network.nearest_super_proxy(
+            profile.location
+        )
+        self._super_proxy_by_country[country] = super_proxy
+        return super_proxy
 
     def _node_task(self, node: ExitNode, sink_doh: List[DohRaw],
                    sink_do53: List[Do53Raw]):
         world = self.world
         country = node.claimed_country
-        profile = COUNTRIES.get(country)
-        location = profile.location if profile else node.host.location
-        super_proxy = world.proxy_network.nearest_super_proxy(location)
-        providers = [PROVIDER_CONFIGS[name] for name in world.config.providers]
+        super_proxy = self._super_proxy_for(node)
+        providers = self._providers
         for run_index in range(world.config.runs_per_client):
             for provider in providers:
                 raw = yield from self.client.measure_doh(
@@ -108,15 +147,16 @@ class Campaign:
 
     # -- execution ------------------------------------------------------------
 
-    def run(
+    def measure(
         self,
         nodes: Optional[Sequence[ExitNode]] = None,
         progress=None,
-    ) -> CampaignResult:
-        """Execute the campaign; returns the processed dataset.
+    ) -> Tuple[List[DohRaw], List[Do53Raw]]:
+        """Run the batched measurement phase only; returns raw records.
 
-        *progress*, if given, is called as ``progress(done, total)``
-        after every batch (long full-scale runs print from it).
+        This is the half of :meth:`run` the sharded executor runs in
+        worker processes — everything after it (validation, dataset
+        build, Atlas) happens on merged records in the parent.
         """
         world = self.world
         sim = world.sim
@@ -137,7 +177,15 @@ class Campaign:
             ]
             sim.run()
             for process in processes:
-                if process.triggered and not process.ok:
+                if not process.triggered:
+                    # A node task that never finished means the batch
+                    # deadlocked (an event nobody will trigger).  This
+                    # used to be silently ignored, losing measurements.
+                    raise SimulationError(
+                        "campaign process {!r} did not finish "
+                        "(deadlock?)".format(process.name)
+                    )
+                if not process.ok:
                     raise process.exception  # type: ignore[misc]
             # The heap is drained between batches: drop per-channel
             # bookkeeping so memory (and GC pressure) stays bounded on
@@ -145,6 +193,22 @@ class Campaign:
             world.network.forget_flow_state()
             if progress is not None:
                 progress(min(start + batch_size, len(nodes)), len(nodes))
+        return raw_doh, raw_do53
+
+    def run(
+        self,
+        nodes: Optional[Sequence[ExitNode]] = None,
+        progress=None,
+    ) -> CampaignResult:
+        """Execute the campaign; returns the processed dataset.
+
+        *progress*, if given, is called as ``progress(done, total)``
+        after every batch (long full-scale runs print from it).
+        """
+        world = self.world
+        if nodes is None:
+            nodes = world.nodes()
+        raw_doh, raw_do53 = self.measure(nodes, progress)
 
         # -- Maxmind validation (discard label mismatches) -----------------
         kept_doh, dropped_doh = filter_mismatched(raw_doh, world.geolocation)
@@ -186,10 +250,16 @@ class Campaign:
             discarded_do53=len(dropped_do53),
         )
 
-    def _run_atlas(self, builder: DatasetBuilder) -> None:
+    def collect_atlas(self) -> List[AtlasRawSample]:
+        """Run the RIPE Atlas supplement; returns raw samples.
+
+        Returned tuples are plain data so a worker process can ship
+        them back to the parent for merging (``repro.parallel``).
+        """
         world = self.world
+        samples: List[AtlasRawSample] = []
         if self.atlas_probes_per_country <= 0:
-            return
+            return samples
         covered = set(world.population.infrastructure)
         target_countries = [
             code for code in SUPER_PROXY_COUNTRIES if code in covered
@@ -214,6 +284,12 @@ class Campaign:
             )
             for index, result in enumerate(results):
                 if result.success:
-                    builder.add_atlas_do53(
-                        result.probe_id, result.country, index, result.time_ms
+                    samples.append(
+                        (result.probe_id, result.country, index,
+                         result.time_ms)
                     )
+        return samples
+
+    def _run_atlas(self, builder: DatasetBuilder) -> None:
+        for probe_id, country, index, time_ms in self.collect_atlas():
+            builder.add_atlas_do53(probe_id, country, index, time_ms)

@@ -48,11 +48,16 @@ class MeasurementClient:
         rng: random.Random,
         measurement_domain: str = "a.com",
         tls_version: str = TlsVersion.TLS13,
+        name_tag: str = "",
     ) -> None:
         self.host = host
         self.rng = rng
         self.measurement_domain = measurement_domain
         self.tls_version = tls_version
+        #: Optional label baked into every fresh name.  Sharded campaign
+        #: executions tag each shard's client so query names are unique
+        #: across shards by construction, not just by random bits.
+        self.name_tag = name_tag
         self._uuid_counter = 0
 
     # -- unique names -----------------------------------------------------
@@ -60,7 +65,8 @@ class MeasurementClient:
     def fresh_name(self) -> str:
         """A unique subdomain, one per query, to defeat caching."""
         self._uuid_counter += 1
-        return "u{:08d}-{:08x}.{}".format(
+        return "{}u{:08d}-{:08x}.{}".format(
+            self.name_tag,
             self._uuid_counter,
             self.rng.getrandbits(32),
             self.measurement_domain,

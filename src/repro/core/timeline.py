@@ -17,7 +17,7 @@ from repro.proxy.headers import TimelineHeaders
 __all__ = ["Do53Raw", "DohRaw"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DohRaw:
     """Observables of one proxied DoH measurement.
 
@@ -55,7 +55,7 @@ class DohRaw:
         return self.t_d - self.t_c
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Do53Raw:
     """Observables of one proxied Do53 measurement."""
 

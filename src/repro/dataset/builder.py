@@ -52,6 +52,19 @@ class DatasetBuilder:
             # First query wins; retries come from the same resolver.
             self._qname_resolver.setdefault(qname, entry.src_ip)
 
+    def ingest_qname_map(
+        self, pairs: Iterable[Tuple[str, str]]
+    ) -> None:
+        """Merge pre-reduced ``(qname, resolver_ip)`` pairs.
+
+        The sharded executor reduces each worker's authoritative query
+        log to this form before shipping it across the process
+        boundary; first occurrence wins, matching
+        :meth:`ingest_auth_log`.
+        """
+        for qname, src_ip in pairs:
+            self._qname_resolver.setdefault(qname, src_ip)
+
     def _locate_pop(self, qname: str) -> Tuple[str, Optional[float], Optional[float]]:
         resolver_ip = self._qname_resolver.get(qname.lower().rstrip("."))
         if not resolver_ip:

@@ -54,7 +54,7 @@ class Rcode:
         return cls._NAMES.get(code, "RCODE{}".format(code))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flags:
     """The flag bits of the DNS header."""
 
@@ -91,7 +91,7 @@ class Flags:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Header:
     """DNS header: 16-bit id, flags, section counts."""
 
@@ -122,7 +122,7 @@ class Header:
         return cls(ident, Flags.decode(flags), qd, an, ns, ar)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Question:
     """One entry of the question section."""
 
@@ -131,7 +131,7 @@ class Question:
     qclass: int = 1  # IN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A complete DNS message."""
 

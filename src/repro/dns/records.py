@@ -57,7 +57,7 @@ class RRClass:
         return "IN" if code == cls.IN else "CLASS{}".format(code)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ARecord:
     """IPv4 address rdata."""
 
@@ -71,7 +71,7 @@ class ARecord:
         return bytes(parts)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AAAARecord:
     """IPv6 address rdata (stored as 16 raw bytes, hex text API)."""
 
@@ -85,7 +85,7 @@ class AAAARecord:
         return raw
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NSRecord:
     """Delegation rdata."""
 
@@ -96,7 +96,7 @@ class NSRecord:
         return encode_name(self.nsdname)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CNAMERecord:
     """Alias rdata."""
 
@@ -107,7 +107,7 @@ class CNAMERecord:
         return encode_name(self.target)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TXTRecord:
     """Free-text rdata (single character-string chunks <=255 bytes)."""
 
@@ -120,7 +120,7 @@ class TXTRecord:
         return b"".join(bytes([len(chunk)]) + chunk for chunk in chunks)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SOARecord:
     """Start-of-authority rdata."""
 
@@ -148,7 +148,7 @@ class SOARecord:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OPTRecord:
     """EDNS0 pseudo-record rdata (carried opaque)."""
 
@@ -216,7 +216,7 @@ def decode_rdata(
     raise ValueError("unsupported rdata type {}".format(rtype))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResourceRecord:
     """One resource record: owner name, type, class, TTL and rdata."""
 

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 __all__ = [
     "EARTH_RADIUS_KM",
     "KM_PER_MILE",
     "LatLon",
+    "geodesic_cache_info",
     "geodesic_km",
     "geodesic_miles",
 ]
@@ -46,8 +48,21 @@ class LatLon:
         return geodesic_miles(self, other)
 
 
+#: Cache size for memoized pair distances.  The simulator asks for the
+#: same (site, site) pairs over and over — every transmission between a
+#: client and its super proxy, resolver or provider PoP recomputes the
+#: identical great-circle distance — so the full-scale campaign's
+#: working set (22k clients x a handful of partners each) fits easily.
+_GEODESIC_CACHE_SIZE = 1 << 17
+
+
+@lru_cache(maxsize=_GEODESIC_CACHE_SIZE)
 def geodesic_km(a: LatLon, b: LatLon) -> float:
-    """Haversine great-circle distance between *a* and *b* in km."""
+    """Haversine great-circle distance between *a* and *b* in km.
+
+    Memoized on the (hashable, frozen) coordinate pair: the trig is
+    ~10 libm calls and sits on the per-message latency hot path.
+    """
     lat1 = math.radians(a.lat)
     lat2 = math.radians(b.lat)
     dlat = lat2 - lat1
@@ -64,3 +79,8 @@ def geodesic_km(a: LatLon, b: LatLon) -> float:
 def geodesic_miles(a: LatLon, b: LatLon) -> float:
     """Haversine great-circle distance between *a* and *b* in miles."""
     return geodesic_km(a, b) / KM_PER_MILE
+
+
+def geodesic_cache_info():
+    """Hit/miss statistics of the memoized distance (benchmark guard)."""
+    return geodesic_km.cache_info()

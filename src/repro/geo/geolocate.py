@@ -72,6 +72,27 @@ class GeolocationService:
         record = self.lookup(address)
         return record.country_code if record else None
 
+    # -- snapshots (cross-process reconstruction) ------------------------
+
+    def snapshot(self) -> Dict[int, GeoRecord]:
+        """A picklable copy of the registered prefix database.
+
+        Worker processes of the sharded campaign executor ship this to
+        the parent, which rebuilds an identical service with
+        :meth:`from_snapshot` — the error model is hash-based, so the
+        rebuilt service answers exactly like the original.
+        """
+        return dict(self._records)
+
+    @classmethod
+    def from_snapshot(
+        cls, records: Dict[int, GeoRecord], error_rate: float = 0.0
+    ) -> "GeolocationService":
+        """Rebuild a service from a :meth:`snapshot` copy."""
+        service = cls(error_rate=error_rate)
+        service._records = dict(records)
+        return service
+
     # -- deterministic error model --------------------------------------
 
     def _hash01(self, prefix: int, salt: str) -> float:

@@ -58,6 +58,19 @@ class Event:
         else:
             self._callbacks.append(callback)
 
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Unregister *callback* if still pending (no-op otherwise).
+
+        Combinators such as :func:`first_of` detach their relays from
+        the losing events once an outcome is decided; without this,
+        long-lived events (listener mailboxes, shared timers) would pin
+        every relay ever registered for the whole campaign.
+        """
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with *value*."""
         self._trigger(True, value, None)
@@ -265,17 +278,32 @@ def first_of(sim: Simulator, events: Iterable[Event]) -> Event:
     Used for timeout-or-response patterns (e.g. UDP retransmission).
     The resulting event succeeds with ``(index, value)`` of the winner,
     or fails with the winner's exception.
+
+    Once the outcome is decided every relay registered on a losing
+    event is detached again: losers may be long-lived events, and a
+    220k-measurement campaign would otherwise accumulate dead
+    callbacks on them for its entire lifetime.
     """
     outcome = sim.event()
+    relays: List[Tuple[Event, Callable[[Event], None]]] = []
+
+    def finish(winner_index: int, winner: Event) -> None:
+        if outcome.triggered:
+            return
+        for event, relay in relays:
+            if event is not winner and not event.triggered:
+                event.remove_callback(relay)
+        if winner.ok:
+            outcome.succeed((winner_index, winner.value))
+        else:
+            outcome.fail(winner.exception)  # type: ignore[arg-type]
+
     for index, event in enumerate(events):
-
-        def relay(ev: Event, index: int = index) -> None:
-            if outcome.triggered:
-                return
-            if ev.ok:
-                outcome.succeed((index, ev.value))
-            else:
-                outcome.fail(ev.exception)  # type: ignore[arg-type]
-
+        relays.append(
+            (event, lambda ev, index=index: finish(index, ev))
+        )
+    for event, relay in relays:
         event.add_callback(relay)
+        if outcome.triggered:
+            break
     return outcome

@@ -66,8 +66,18 @@ class LatencyModel:
     seeded :class:`random.Random` gives fully reproducible runs.
     """
 
+    #: Entries kept in the per-pair base-delay memo before it is reset.
+    BASE_CACHE_LIMIT = 1 << 16
+
     def __init__(self, params: LatencyParams = LatencyParams()) -> None:
         self.params = params
+        # Memo of the deterministic per-(src, dst) delay components
+        # (overhead + propagation + international transit).  Keyed by
+        # the frozen site profiles themselves, so equal-valued sites
+        # share entries and stale hits are impossible.
+        self._base_cache: "dict[Tuple[SiteProfile, SiteProfile], float]" = {}
+        self.base_cache_hits = 0
+        self.base_cache_misses = 0
 
     # -- components -----------------------------------------------------
 
@@ -101,6 +111,28 @@ class LatencyModel:
             return 0.0
         return src.intl_extra_ms + dst.intl_extra_ms
 
+    def base_ms(self, src: "SiteProfile", dst: "SiteProfile") -> float:
+        """Deterministic per-pair delay: overhead + propagation + transit.
+
+        Memoized — this is the expensive jitter-free part of every
+        sampled delay, identical for every message on the same path.
+        """
+        key = (src, dst)
+        cached = self._base_cache.get(key)
+        if cached is not None:
+            self.base_cache_hits += 1
+            return cached
+        self.base_cache_misses += 1
+        value = (
+            self.params.per_hop_overhead_ms
+            + self.propagation_ms(src, dst)
+            + self._transit_extra_ms(src, dst)
+        )
+        if len(self._base_cache) >= self.BASE_CACHE_LIMIT:
+            self._base_cache.clear()
+        self._base_cache[key] = value
+        return value
+
     # -- sampling ---------------------------------------------------------
 
     def one_way_ms(
@@ -112,14 +144,12 @@ class LatencyModel:
     ) -> float:
         """Sample a one-way delay for a message of *nbytes*."""
         delay = (
-            self.params.per_hop_overhead_ms
+            self.base_ms(src, dst)
             + self._access_ms(src, rng)
             + self._access_ms(dst, rng)
             + self.serialization_ms(src, nbytes)
             + self.serialization_ms(dst, nbytes)
-            + self.propagation_ms(src, dst)
             + self._queueing_ms(src, dst, rng)
-            + self._transit_extra_ms(src, dst)
         )
         return max(delay, self.params.min_delay_ms)
 
@@ -134,14 +164,14 @@ class LatencyModel:
         self, src: "SiteProfile", dst: "SiteProfile", nbytes: int = 100
     ) -> float:
         """Jitter-free round-trip estimate (used for RTO seeding)."""
-        base = (
-            2.0 * self.params.per_hop_overhead_ms
+        # base_ms already holds overhead + propagation + transit once;
+        # a round trip pays each of those twice.
+        return (
+            2.0 * self.base_ms(src, dst)
             + 2.0 * (src.last_mile_ms + dst.last_mile_ms)
-            + 2.0 * self.propagation_ms(src, dst)
             + self.serialization_ms(src, nbytes)
             + self.serialization_ms(dst, nbytes)
         )
-        return base + self._transit_extra_static(src, dst)
 
     def _transit_extra_static(
         self, src: "SiteProfile", dst: "SiteProfile"

@@ -57,7 +57,7 @@ class ListenerClosed(Exception):
     """The listener was closed."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Datagram:
     """One UDP datagram as seen by the receiver."""
 
@@ -71,6 +71,8 @@ class Datagram:
 
 class _Mailbox:
     """FIFO inbox shared by UDP sockets and TCP connection endpoints."""
+
+    __slots__ = ("_host", "_queue", "_waiters", "closed")
 
     def __init__(self, host: Host) -> None:
         self._host = host
@@ -117,6 +119,8 @@ class _Mailbox:
 
 class UdpSocket:
     """An unreliable datagram socket bound to (host, port)."""
+
+    __slots__ = ("host", "port", "_mailbox", "closed")
 
     def __init__(self, host: Host, port: int) -> None:
         key = (host.ip, port)
@@ -170,6 +174,12 @@ class UdpSocket:
 
 class TcpConnection:
     """One endpoint of an established, reliable, in-order byte channel."""
+
+    __slots__ = (
+        "host", "local_port", "remote_ip", "remote_port", "channel",
+        "peer", "closed", "remote_closed", "handshake_ms",
+        "bytes_sent", "bytes_received", "_mailbox",
+    )
 
     def __init__(
         self,
@@ -282,6 +292,8 @@ class TcpConnection:
 
 class TcpListener:
     """A passive TCP endpoint that spawns a handler per connection."""
+
+    __slots__ = ("host", "port", "handler", "closed")
 
     def __init__(self, host: Host, port: int, handler) -> None:
         key = (host.ip, port)

@@ -1,0 +1,36 @@
+"""Sharded parallel campaign execution (``repro.parallel``).
+
+Splits the exit-node fleet into deterministic shards, runs each
+shard's campaign in a worker process, and merges the results into a
+single dataset that is byte-identical for any worker count.  See
+``docs/performance.md`` for the architecture and the seed-derivation
+rules.
+"""
+
+from repro.parallel.executor import run_parallel_campaign
+from repro.parallel.sharding import (
+    DEFAULT_NUM_SHARDS,
+    ShardSpec,
+    make_shards,
+    shard_items,
+)
+from repro.parallel.worker import (
+    AtlasTask,
+    ShardResult,
+    ShardTask,
+    run_atlas_task,
+    run_measurement_shard,
+)
+
+__all__ = [
+    "AtlasTask",
+    "DEFAULT_NUM_SHARDS",
+    "ShardResult",
+    "ShardSpec",
+    "ShardTask",
+    "make_shards",
+    "run_atlas_task",
+    "run_measurement_shard",
+    "run_parallel_campaign",
+    "shard_items",
+]

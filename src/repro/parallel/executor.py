@@ -1,0 +1,182 @@
+"""The sharded parallel campaign executor.
+
+Partitions the exit-node fleet into ``num_shards`` deterministic
+shards (see :mod:`repro.parallel.sharding`), runs each shard's
+campaign in a worker process with ``multiprocessing`` (``spawn`` start
+method — workers receive only picklable configs, never live worlds),
+and merges the results into a single :class:`CampaignResult`.
+
+The merge invariant: the returned dataset is **byte-identical for any
+worker count**, because
+
+* the shard partition depends only on ``(config, num_shards,
+  max_nodes)``,
+* each shard's execution depends only on ``(config, shard spec)``,
+* merged records are ordered canonically — DoH by ``(node_id,
+  run_index, provider)``, Do53 by ``(node_id, run_index)``, clients by
+  ``node_id`` — with shard index as the stable tiebreak.
+
+``workers=1`` runs the same shard tasks inline in this process, so it
+is the reference execution the parity tests compare against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Optional
+
+from repro.core.campaign import AtlasRawSample, CampaignResult
+from repro.core.config import ReproConfig
+from repro.dataset.builder import DatasetBuilder
+from repro.geo.geolocate import GeolocationService
+from repro.parallel.sharding import (
+    DEFAULT_NUM_SHARDS,
+    ShardSpec,
+    make_shards,
+)
+from repro.parallel.worker import (
+    AtlasTask,
+    ShardResult,
+    ShardTask,
+    run_atlas_task,
+    run_measurement_shard,
+)
+
+__all__ = ["run_parallel_campaign"]
+
+ProgressFn = Callable[[int, int], None]
+
+
+def run_parallel_campaign(
+    config: ReproConfig,
+    workers: int = 1,
+    num_shards: Optional[int] = None,
+    atlas_probes_per_country: int = 8,
+    atlas_repetitions: int = 2,
+    max_nodes: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> CampaignResult:
+    """Run the full campaign across *workers* processes.
+
+    *num_shards* fixes the fleet partition (default
+    :data:`DEFAULT_NUM_SHARDS`); it is part of the experiment
+    definition, while *workers* only controls wall-clock parallelism.
+    *progress*, if given, is called as ``progress(done_tasks,
+    total_tasks)`` as shard/Atlas tasks complete.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if num_shards is None:
+        num_shards = DEFAULT_NUM_SHARDS
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+
+    specs = make_shards(num_shards, max_nodes=max_nodes)
+    shard_tasks = [ShardTask(config, spec) for spec in specs]
+    atlas_task: Optional[AtlasTask] = None
+    if atlas_probes_per_country > 0:
+        atlas_task = AtlasTask(
+            config=config,
+            probes_per_country=atlas_probes_per_country,
+            repetitions=atlas_repetitions,
+            # Past every shard's client stream (they use seed+1+k for
+            # k < num_shards), so Atlas query names never collide.
+            client_seed=config.seed + 1 + num_shards,
+        )
+
+    total_tasks = len(shard_tasks) + (1 if atlas_task else 0)
+    done = 0
+
+    def tick() -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total_tasks)
+
+    shard_results: List[ShardResult] = []
+    atlas_samples: List[AtlasRawSample] = []
+
+    if workers == 1:
+        for task in shard_tasks:
+            shard_results.append(run_measurement_shard(task))
+            tick()
+        if atlas_task is not None:
+            atlas_samples = run_atlas_task(atlas_task)
+            tick()
+    else:
+        context = multiprocessing.get_context("spawn")
+        pool_size = min(workers, total_tasks)
+        with context.Pool(processes=pool_size) as pool:
+            atlas_async = (
+                pool.apply_async(run_atlas_task, (atlas_task,))
+                if atlas_task is not None
+                else None
+            )
+            for result in pool.imap_unordered(
+                run_measurement_shard, shard_tasks, chunksize=1
+            ):
+                shard_results.append(result)
+                tick()
+            if atlas_async is not None:
+                atlas_samples = atlas_async.get()
+                tick()
+
+    return _merge(config, shard_results, atlas_samples)
+
+
+def _merge(
+    config: ReproConfig,
+    shard_results: List[ShardResult],
+    atlas_samples: List[AtlasRawSample],
+) -> CampaignResult:
+    """Combine shard outputs into one canonical :class:`CampaignResult`."""
+    shard_results = sorted(shard_results, key=lambda r: r.shard_index)
+
+    snapshot = None
+    for result in shard_results:
+        if result.geo_snapshot is not None:
+            snapshot = result.geo_snapshot
+            break
+    if snapshot is None:
+        raise RuntimeError("no shard shipped a geolocation snapshot")
+    geolocation = GeolocationService.from_snapshot(
+        snapshot, error_rate=config.geolocation_error_rate
+    )
+
+    kept_doh = [raw for result in shard_results for raw in result.kept_doh]
+    kept_do53 = [raw for result in shard_results for raw in result.kept_do53]
+    # Canonical merge order; the sort is stable and shard inputs are
+    # already in (shard_index, execution) order, so ties (records
+    # without a node id) stay deterministic too.
+    kept_doh.sort(key=lambda raw: (raw.node_id, raw.run_index, raw.provider))
+    kept_do53.sort(key=lambda raw: (raw.node_id, raw.run_index))
+
+    builder = DatasetBuilder(
+        geolocation,
+        min_clients_per_country=config.population.analyzed_threshold,
+    )
+    for result in shard_results:
+        builder.ingest_qname_map(result.qname_map)
+
+    clients = {}
+    for result in shard_results:
+        for node_id, ip, country in result.client_entries:
+            clients.setdefault(node_id, (ip, country))
+    for node_id in sorted(clients):
+        ip, country = clients[node_id]
+        builder.add_client(node_id, ip, country)
+
+    for raw in kept_doh:
+        builder.add_doh(raw)
+    for raw in kept_do53:
+        builder.add_do53(raw)
+    for probe_id, country, index, time_ms in atlas_samples:
+        builder.add_atlas_do53(probe_id, country, index, time_ms)
+
+    return CampaignResult(
+        dataset=builder.build(),
+        raw_doh=kept_doh,
+        raw_do53=kept_do53,
+        discarded_doh=sum(r.dropped_doh for r in shard_results),
+        discarded_do53=sum(r.dropped_do53 for r in shard_results),
+    )

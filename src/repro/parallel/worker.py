@@ -1,0 +1,143 @@
+"""Spawn-safe worker entry points for the sharded campaign executor.
+
+Workers never receive a live :class:`~repro.core.world.World` — worlds
+hold generator-based simulator state and cannot cross a process
+boundary.  Instead each worker gets a picklable ``(ReproConfig, task
+spec)`` pair, rebuilds its own deterministic world from the seed, runs
+its slice of the campaign, and ships plain-data results back:
+
+* raw :class:`DohRaw`/:class:`Do53Raw` records (post Maxmind
+  validation, with discard counts),
+* the authoritative server's query log reduced to ``(qname,
+  resolver_ip)`` pairs for the PoP join,
+* the measured nodes' identity rows for client registration,
+* shard 0 only: a snapshot of the geolocation database so the parent
+  can rebuild an identical service without building a world itself.
+
+Everything here must stay importable at module top level — the
+``spawn`` start method pickles functions by qualified name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.campaign import AtlasRawSample, Campaign
+from repro.core.config import ReproConfig
+from repro.core.timeline import Do53Raw, DohRaw
+from repro.core.validation import filter_mismatched
+from repro.core.world import build_world
+from repro.geo.geolocate import GeoRecord
+from repro.parallel.sharding import ShardSpec, shard_items
+
+__all__ = [
+    "AtlasTask",
+    "ShardResult",
+    "ShardTask",
+    "run_atlas_task",
+    "run_measurement_shard",
+]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to run one measurement shard."""
+
+    config: ReproConfig
+    spec: ShardSpec
+
+
+@dataclass(frozen=True)
+class AtlasTask:
+    """The RIPE Atlas supplement, run as its own deterministic task.
+
+    Atlas gets a dedicated world (rather than piggybacking on shard 0)
+    so its results do not depend on how the fleet was partitioned.
+    """
+
+    config: ReproConfig
+    probes_per_country: int
+    repetitions: int
+    #: Client-stream seed, chosen by the executor to diverge from every
+    #: measurement shard.
+    client_seed: int
+    name_tag: str = "a-"
+
+
+@dataclass
+class ShardResult:
+    """Plain-data outcome of one measurement shard."""
+
+    shard_index: int
+    kept_doh: List[DohRaw] = field(default_factory=list)
+    kept_do53: List[Do53Raw] = field(default_factory=list)
+    dropped_doh: int = 0
+    dropped_do53: int = 0
+    #: Reduced auth-server log: first resolver to ask for each qname.
+    qname_map: List[Tuple[str, str]] = field(default_factory=list)
+    #: ``(node_id, ip, claimed_country)`` for every measured node.
+    client_entries: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: Geolocation database snapshot (shard 0 only, None elsewhere).
+    geo_snapshot: Optional[Dict[int, GeoRecord]] = None
+
+
+def run_measurement_shard(task: ShardTask) -> ShardResult:
+    """Build a world and measure this shard's slice of the fleet."""
+    config = task.config
+    spec = task.spec
+    world = build_world(config)
+    campaign = Campaign(
+        world,
+        atlas_probes_per_country=0,
+        client_seed=spec.client_seed(config.seed),
+        client_name_tag=spec.name_tag(),
+    )
+    nodes = shard_items(world.nodes(), spec)
+    raw_doh, raw_do53 = campaign.measure(nodes)
+
+    kept_doh, dropped_doh = filter_mismatched(raw_doh, world.geolocation)
+    kept_do53, dropped_do53 = filter_mismatched(raw_do53, world.geolocation)
+
+    qname_map: Dict[str, str] = {}
+    for entry in world.auth_server.query_log:
+        qname_map.setdefault(str(entry.qname), entry.src_ip)
+
+    measured_ids = set()
+    for raw in kept_doh:
+        if raw.node_id:
+            measured_ids.add(raw.node_id)
+    for raw in kept_do53:
+        if raw.node_id:
+            measured_ids.add(raw.node_id)
+    client_entries = [
+        (node.node_id, node.ip, node.claimed_country)
+        for node in nodes
+        if node.node_id in measured_ids
+    ]
+
+    return ShardResult(
+        shard_index=spec.shard_index,
+        kept_doh=kept_doh,
+        kept_do53=kept_do53,
+        dropped_doh=len(dropped_doh),
+        dropped_do53=len(dropped_do53),
+        qname_map=sorted(qname_map.items()),
+        client_entries=client_entries,
+        geo_snapshot=(
+            world.geolocation.snapshot() if spec.shard_index == 0 else None
+        ),
+    )
+
+
+def run_atlas_task(task: AtlasTask) -> List[AtlasRawSample]:
+    """Build a world and run only the RIPE Atlas supplement."""
+    world = build_world(task.config)
+    campaign = Campaign(
+        world,
+        atlas_probes_per_country=task.probes_per_country,
+        atlas_repetitions=task.repetitions,
+        client_seed=task.client_seed,
+        client_name_tag=task.name_tag,
+    )
+    return campaign.collect_atlas()

@@ -61,6 +61,8 @@ def decode_timeline(text: str) -> Dict[str, float]:
 class TimelineHeaders:
     """Typed view over the two BrightData timing headers."""
 
+    __slots__ = ("tun", "box")
+
     def __init__(
         self,
         tun: Mapping[str, float],

@@ -1,0 +1,138 @@
+"""Sharded parallel executor: determinism parity and plumbing.
+
+The central guarantee under test: at a fixed shard count, the merged
+dataset is byte-identical no matter how many worker processes ran the
+shards (``workers`` changes wall-clock only; ``num_shards`` is part of
+the experiment definition, like ``batch_size``).
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.config import ReproConfig
+from repro.core.world import build_world
+from repro.netsim.engine import SimulationError
+from repro.parallel import (
+    ShardSpec,
+    make_shards,
+    run_parallel_campaign,
+    shard_items,
+)
+from repro.proxy.population import PopulationConfig
+
+PARITY_KWARGS = dict(
+    num_shards=4,
+    max_nodes=48,
+    atlas_probes_per_country=1,
+    atlas_repetitions=1,
+)
+
+
+def _small_config() -> ReproConfig:
+    return ReproConfig(population=PopulationConfig(scale=0.01))
+
+
+class TestSharding:
+    def test_shards_partition_the_fleet(self):
+        items = list(range(23))
+        specs = make_shards(4)
+        slices = [shard_items(items, spec) for spec in specs]
+        merged = sorted(x for piece in slices for x in piece)
+        assert merged == items
+        sizes = [len(piece) for piece in slices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_max_nodes_caps_before_partitioning(self):
+        items = list(range(100))
+        specs = make_shards(4, max_nodes=10)
+        merged = sorted(
+            x for spec in specs for x in shard_items(items, spec)
+        )
+        assert merged == list(range(10))
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ShardSpec(shard_index=4, num_shards=4)
+        with pytest.raises(ValueError):
+            ShardSpec(shard_index=0, num_shards=0)
+        with pytest.raises(ValueError):
+            ShardSpec(shard_index=0, num_shards=1, max_nodes=-1)
+
+    def test_seed_and_tag_derivation(self):
+        spec = ShardSpec(shard_index=3, num_shards=8)
+        # Shard 0 lines up with the serial campaign's client stream
+        # (seed + 1); later shards step past it one by one.
+        assert ShardSpec(0, 8).client_seed(100) == 101
+        assert spec.client_seed(100) == 104
+        assert spec.name_tag() == "s3-"
+
+
+class TestWorkerParity:
+    """workers=N must reproduce workers=1 exactly."""
+
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return run_parallel_campaign(
+            _small_config(), workers=1, **PARITY_KWARGS
+        )
+
+    def test_workers_4_identical_dataset(self, serial_result):
+        parallel_result = run_parallel_campaign(
+            _small_config(), workers=4, **PARITY_KWARGS
+        )
+        assert (
+            parallel_result.dataset.to_json()
+            == serial_result.dataset.to_json()
+        )
+        assert parallel_result.discarded_doh == serial_result.discarded_doh
+        assert parallel_result.discarded_do53 == serial_result.discarded_do53
+
+    def test_produces_complete_measurements(self, serial_result):
+        dataset = serial_result.dataset
+        config = _small_config()
+        runs = config.runs_per_client
+        providers = len(config.providers)
+        by_node = {}
+        for sample in dataset.doh:
+            by_node.setdefault(sample.node_id, []).append(sample)
+        for node_id, samples in by_node.items():
+            assert len(samples) == runs * providers
+        atlas = [s for s in dataset.do53 if s.source == "ripeatlas"]
+        assert atlas
+
+    def test_qname_join_survives_the_merge(self, serial_result):
+        # PoP identification joins DoH samples against the merged
+        # auth-server logs; shard name tags keep that join unambiguous,
+        # so successful samples must still resolve to a PoP.
+        successful = [s for s in serial_result.dataset.doh if s.success]
+        assert successful
+        assert any(s.pop_ip_prefix for s in successful)
+
+    def test_progress_callback_counts_tasks(self):
+        calls = []
+        run_parallel_campaign(
+            _small_config(),
+            workers=1,
+            num_shards=2,
+            max_nodes=8,
+            atlas_probes_per_country=0,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 2), (2, 2)]
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            run_parallel_campaign(_small_config(), workers=0)
+
+
+class TestDeadlockDetection:
+    def test_stuck_node_task_raises(self):
+        world = build_world(_small_config())
+
+        class StuckCampaign(Campaign):
+            def _node_task(self, node, sink_doh, sink_do53):
+                yield world.sim.event()  # nobody ever triggers this
+
+        campaign = StuckCampaign(world, atlas_probes_per_country=0)
+        with pytest.raises(SimulationError, match="did not finish"):
+            campaign.measure(world.nodes()[:2])

@@ -213,3 +213,32 @@ class TestFirstOf:
         race = first_of(sim, [a, b])
         sim.run()
         assert race.value == (0, "a")  # b's trigger did not re-fire
+
+    def test_loser_callbacks_detached(self, sim):
+        # The losing event may live on long after the race (e.g. a
+        # response event raced against a timeout); the relay must not
+        # keep the settled race outcome alive through it.
+        winner = sim.timeout(1.0, value="won")
+        loser = sim.event()  # never triggers
+        race = first_of(sim, [winner, loser])
+        sim.run()
+        assert race.value == (0, "won")
+        assert loser._callbacks == []
+
+    def test_loser_callbacks_detached_on_failure(self, sim):
+        failing = sim.event()
+        loser = sim.event()
+        race = first_of(sim, [failing, loser])
+        sim.schedule(1.0, lambda: failing.fail(RuntimeError("x")))
+        sim.run()
+        assert race.triggered and not race.ok
+        assert loser._callbacks == []
+
+    def test_already_triggered_event_skips_registration(self, sim):
+        done = sim.event()
+        done.succeed("now")
+        pending = sim.event()
+        race = first_of(sim, [done, pending])
+        sim.run()
+        assert race.value == (0, "now")
+        assert pending._callbacks == []

@@ -2,12 +2,17 @@
 
 Writes the dataset and a summary report under results/full_scale/.
 
-Run:  python tools/run_full_scale.py [seed]
+Run:  python tools/run_full_scale.py [--seed N] [--workers N] [--shards K]
+
+``--workers 1`` (the default) runs the legacy serial campaign;
+anything higher uses the sharded parallel executor, whose merged
+dataset is byte-identical for any worker count at a fixed shard count
+(see docs/performance.md).
 """
 
+import argparse
 import gc
 import os
-import sys
 import time
 
 from repro.analysis.figures import figure3_clients_per_country
@@ -23,11 +28,23 @@ from repro.analysis.tables import table3_dataset_composition, table4_logistic
 from repro.core.campaign import Campaign
 from repro.core.config import ReproConfig
 from repro.core.world import build_world
+from repro.parallel import run_parallel_campaign
 from repro.proxy.population import PopulationConfig
 
 
+def _parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=20210402)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (1 = legacy serial run)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="fleet shard count (default 8 when sharded)")
+    return parser.parse_args()
+
+
 def main() -> None:
-    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 20210402
+    args = _parse_args()
+    seed = args.seed
     out_dir = os.path.join("results", "full_scale")
     os.makedirs(out_dir, exist_ok=True)
     lines = []
@@ -38,23 +55,42 @@ def main() -> None:
 
     started = time.time()
     config = ReproConfig(seed=seed, population=PopulationConfig(scale=1.0))
-    world = build_world(config)
-    # The built world is permanent: freeze it out of the GC's view so
-    # collections during the campaign only trace young objects.
-    gc.collect()
-    gc.freeze()
-    emit("world built in {:.0f}s: {} hosts, {} exit nodes".format(
-        time.time() - started, len(world.network), len(world.nodes())))
-
     campaign_started = time.time()
 
-    def progress(done, total):
-        if done % 4000 < 400 or done == total:
-            print("  measured {}/{} nodes ({:.0f}s)".format(
+    if args.workers > 1 or args.shards is not None:
+        emit("sharded campaign: workers={} shards={}".format(
+            args.workers, args.shards or "default"))
+
+        def shard_progress(done, total):
+            print("  finished task {}/{} ({:.0f}s)".format(
                 done, total, time.time() - campaign_started), flush=True)
 
-    result = Campaign(world, atlas_probes_per_country=25,
-                      atlas_repetitions=5).run(progress=progress)
+        result = run_parallel_campaign(
+            config,
+            workers=args.workers,
+            num_shards=args.shards,
+            atlas_probes_per_country=25,
+            atlas_repetitions=5,
+            progress=shard_progress,
+        )
+    else:
+        world = build_world(config)
+        # The built world is permanent: freeze it out of the GC's view
+        # so collections during the campaign only trace young objects.
+        gc.collect()
+        gc.freeze()
+        emit("world built in {:.0f}s: {} hosts, {} exit nodes".format(
+            time.time() - started, len(world.network), len(world.nodes())))
+
+        campaign_started = time.time()
+
+        def progress(done, total):
+            if done % 4000 < 400 or done == total:
+                print("  measured {}/{} nodes ({:.0f}s)".format(
+                    done, total, time.time() - campaign_started), flush=True)
+
+        result = Campaign(world, atlas_probes_per_country=25,
+                          atlas_repetitions=5).run(progress=progress)
     dataset = result.dataset
     emit("campaign in {:.0f}s".format(time.time() - campaign_started))
     emit(dataset.summary())
