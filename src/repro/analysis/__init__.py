@@ -10,6 +10,8 @@
   Figures 6 and 9,
 * :mod:`repro.analysis.explain` — the Section 6 regressions (Tables
   4–6),
+* :mod:`repro.analysis.failures` — per-provider / per-country failure
+  rates (the availability companion to the latency results),
 * :mod:`repro.analysis.figures` / :mod:`repro.analysis.tables` — one
   generator per paper artifact,
 * :mod:`repro.analysis.report` — plain-text rendering.
@@ -20,6 +22,13 @@ from repro.analysis.slowdown import (
     HeadlineStats,
     client_provider_stats,
     headline_stats,
+)
+from repro.analysis.failures import (
+    FailureRate,
+    country_failure_rates,
+    failure_reasons,
+    provider_failure_rates,
+    render_failure_report,
 )
 from repro.analysis.providers import ProviderSummary, provider_summaries
 from repro.analysis.geography import (
@@ -38,6 +47,7 @@ from repro.analysis.explain import (
 __all__ = [
     "ClientProviderStat",
     "CountryDelta",
+    "FailureRate",
     "HeadlineStats",
     "LinearDeltaResult",
     "LogisticSlowdownResult",
@@ -45,10 +55,14 @@ __all__ = [
     "ProviderSummary",
     "client_provider_stats",
     "country_deltas",
+    "country_failure_rates",
     "country_medians",
+    "failure_reasons",
     "headline_stats",
     "linear_delta_model",
     "logistic_slowdown_model",
     "pop_distance_stats",
+    "provider_failure_rates",
     "provider_summaries",
+    "render_failure_report",
 ]

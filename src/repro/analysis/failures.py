@@ -1,0 +1,161 @@
+"""Failure-rate analysis (the paper's availability companion numbers).
+
+The paper reports per-provider failure rates alongside latency, and
+related work (Sharma et al.; Hounsel et al.) makes resolver
+*availability* a first-class result.  This module computes those rates
+from the processed dataset: every sample — successful or not — is an
+attempt, and ``success=False`` samples are the failures, carrying the
+error string the measurement recorded.
+
+Only BrightData-sourced Do53 samples count toward Do53 rates: RIPE
+Atlas supplements only ship successful resolutions, so including them
+would undercount.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import format_table
+from repro.dataset.store import Dataset
+
+__all__ = [
+    "FailureRate",
+    "country_failure_rates",
+    "failure_reasons",
+    "provider_failure_rates",
+    "render_failure_report",
+]
+
+
+@dataclass(frozen=True)
+class FailureRate:
+    """Attempt/failure counts for one key (provider or country)."""
+
+    key: str
+    attempts: int
+    failures: int
+
+    @property
+    def rate(self) -> float:
+        return self.failures / self.attempts if self.attempts else 0.0
+
+
+def _sorted_rates(counts: Dict[str, List[int]]) -> List[FailureRate]:
+    rows = [
+        FailureRate(key=key, attempts=attempts, failures=failures)
+        for key, (attempts, failures) in counts.items()
+    ]
+    # Worst first; key as the deterministic tiebreak.
+    rows.sort(key=lambda row: (-row.rate, row.key))
+    return rows
+
+
+def provider_failure_rates(dataset: Dataset) -> List[FailureRate]:
+    """DoH failure rate per provider, worst first."""
+    counts: Dict[str, List[int]] = {}
+    for sample in dataset.doh:
+        entry = counts.setdefault(sample.provider, [0, 0])
+        entry[0] += 1
+        if not sample.success:
+            entry[1] += 1
+    return _sorted_rates(counts)
+
+
+def country_failure_rates(dataset: Dataset) -> List[FailureRate]:
+    """Combined DoH + BrightData-Do53 failure rate per country."""
+    counts: Dict[str, List[int]] = {}
+    for sample in dataset.doh:
+        entry = counts.setdefault(sample.country, [0, 0])
+        entry[0] += 1
+        if not sample.success:
+            entry[1] += 1
+    for sample in dataset.do53:
+        if sample.source != "brightdata":
+            continue
+        entry = counts.setdefault(sample.country, [0, 0])
+        entry[0] += 1
+        if not sample.success:
+            entry[1] += 1
+    return _sorted_rates(counts)
+
+
+#: Substring → category for normalising raw error strings (they embed
+#: variable parts like addresses and durations).
+_REASON_MARKERS: Tuple[Tuple[str, str], ...] = (
+    ("implausible", "implausible-estimate"),
+    ("overloaded", "super-proxy-overloaded"),
+    ("no exit nodes", "no-peer-available"),
+    ("exit node died", "exit-node-died"),
+    ("SERVFAIL", "servfail"),
+    ("refused", "connection-refused"),
+    ("timed out", "timeout"),
+    ("timeout", "timeout"),
+    ("no data within", "timeout"),
+    ("closed", "connection-closed"),
+    ("no A records", "no-answer"),
+    ("dns failure", "central-dns-failure"),
+)
+
+
+def _categorise(error: str) -> str:
+    for marker, category in _REASON_MARKERS:
+        if marker in error:
+            return category
+    return "other"
+
+
+def failure_reasons(dataset: Dataset) -> List[Tuple[str, int]]:
+    """Failure categories with counts, most common first."""
+    counts: Dict[str, int] = {}
+    for sample in dataset.doh:
+        if not sample.success:
+            category = _categorise(sample.error)
+            counts[category] = counts.get(category, 0) + 1
+    for sample in dataset.do53:
+        if sample.source == "brightdata" and not sample.success:
+            category = _categorise(sample.error)
+            counts[category] = counts.get(category, 0) + 1
+    return sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+
+
+def render_failure_report(dataset: Dataset, max_countries: int = 15) -> str:
+    """Plain-text failure report: providers, worst countries, reasons."""
+    sections = []
+
+    provider_rows = provider_failure_rates(dataset)
+    sections.append("Failure rates by provider (DoH)")
+    sections.append(format_table(
+        ("provider", "attempts", "failures", "rate"),
+        [
+            (row.key, row.attempts, row.failures,
+             "{:.2%}".format(row.rate))
+            for row in provider_rows
+        ],
+    ))
+
+    country_rows = country_failure_rates(dataset)[:max_countries]
+    sections.append("")
+    sections.append(
+        "Failure rates by country (DoH + BrightData Do53, worst {})".format(
+            len(country_rows)
+        )
+    )
+    sections.append(format_table(
+        ("country", "attempts", "failures", "rate"),
+        [
+            (row.key, row.attempts, row.failures,
+             "{:.2%}".format(row.rate))
+            for row in country_rows
+        ],
+    ))
+
+    reasons = failure_reasons(dataset)
+    sections.append("")
+    sections.append("Failure reasons")
+    sections.append(format_table(
+        ("reason", "count"),
+        reasons or [("(none)", 0)],
+    ))
+    return "\n".join(sections)

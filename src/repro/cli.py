@@ -35,7 +35,7 @@ __all__ = ["main"]
 
 _ARTIFACTS = (
     "headlines", "table3", "table4", "table5", "table6",
-    "figure3", "figure6", "figure7", "providers",
+    "figure3", "figure6", "figure7", "providers", "failures",
 )
 
 
@@ -64,6 +64,19 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--shards", type=int, default=None,
                           help="fleet shard count (part of the experiment "
                                "definition; default 8 when sharded)")
+    campaign.add_argument("--fault-preset", default=None,
+                          help="enable deterministic fault injection: "
+                               "chaos, churn, overload, burst-loss, or "
+                               "outage:<provider>[:servfail] "
+                               "(see docs/robustness.md)")
+    campaign.add_argument("--fault-seed", type=int, default=0,
+                          help="seed for the fault plan (default 0)")
+    campaign.add_argument("--shard-timeout", type=float, default=None,
+                          help="watchdog: seconds before an unresponsive "
+                               "worker round is retried")
+    campaign.add_argument("--shard-retries", type=int, default=2,
+                          help="max retries per shard task after a worker "
+                               "crash or watchdog timeout")
 
     analyze = sub.add_parser(
         "analyze", help="regenerate a paper artifact from a dataset"
@@ -86,8 +99,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_campaign(args) -> int:
+    faults = None
+    if args.fault_preset:
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan.from_preset(args.fault_preset,
+                                       seed=args.fault_seed)
+        print("fault injection enabled: preset={!r}, fault-seed={}".format(
+            args.fault_preset, args.fault_seed))
     config = ReproConfig(
-        seed=args.seed, population=PopulationConfig(scale=args.scale)
+        seed=args.seed, population=PopulationConfig(scale=args.scale),
+        faults=faults,
     )
     started = time.time()
     if args.workers != 1 or args.shards is not None:
@@ -101,6 +123,8 @@ def _cmd_campaign(args) -> int:
             workers=args.workers,
             num_shards=args.shards,
             atlas_probes_per_country=args.atlas_probes,
+            shard_timeout_s=args.shard_timeout,
+            max_shard_retries=args.shard_retries,
         )
     else:
         print("building world (scale={}, seed={})...".format(
@@ -115,6 +139,9 @@ def _cmd_campaign(args) -> int:
     dataset = result.dataset
     print("  " + dataset.summary())
     print("  discard rate {:.2%}".format(result.discard_rate))
+    if result.failures:
+        print("  {} node(s) failed permanently (isolated, see "
+              "'analyze --artifact failures')".format(len(result.failures)))
     if args.out:
         dataset.save(args.out)
         print("dataset written to {}".format(args.out))
@@ -191,6 +218,10 @@ def _cmd_analyze(args) -> int:
         ):
             print("{:<11} median country delta10 {:>+7.1f} ms".format(
                 provider, median(values)))
+    elif artifact == "failures":
+        from repro.analysis.failures import render_failure_report
+
+        print(render_failure_report(dataset))
     elif artifact == "providers":
         from repro.analysis.providers import provider_summaries
 

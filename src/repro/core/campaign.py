@@ -37,11 +37,25 @@ from repro.geo.countries import COUNTRIES, SUPER_PROXY_COUNTRIES
 from repro.netsim.engine import SimulationError
 from repro.proxy.exitnode import ExitNode
 
-__all__ = ["AtlasRawSample", "Campaign", "CampaignResult"]
+__all__ = ["AtlasRawSample", "Campaign", "CampaignResult", "NodeFailure"]
 
 #: One successful Atlas resolution in raw, mergeable form:
 #: ``(probe_id, country, result_index, time_ms)``.
 AtlasRawSample = Tuple[str, str, int, float]
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """A node whose measurement task failed on every attempt.
+
+    The paper's campaign saw these constantly (peers churning away
+    mid-session); they are data, not crashes — the campaign records
+    them and keeps going.
+    """
+
+    node_id: str
+    error: str
+    attempts: int
 
 
 @dataclass
@@ -53,6 +67,9 @@ class CampaignResult:
     raw_do53: List[Do53Raw] = field(default_factory=list)
     discarded_doh: int = 0
     discarded_do53: int = 0
+    #: Nodes whose task failed every attempt (exceptions, not failed
+    #: samples — those stay in raw_doh/raw_do53 with success=False).
+    failures: List[NodeFailure] = field(default_factory=list)
 
     @property
     def discard_rate(self) -> float:
@@ -74,16 +91,24 @@ class Campaign:
         atlas_repetitions: int = 2,
         client_seed: Optional[int] = None,
         client_name_tag: str = "",
+        max_node_retries: int = 1,
     ) -> None:
         """*client_seed*/*client_name_tag* isolate the measurement
         client's RNG stream and query-name namespace; the sharded
         executor derives both from the shard index so shards diverge
         deterministically (``repro.parallel``).  The defaults reproduce
         the single-process campaign exactly.
+
+        *max_node_retries* bounds how often a node task that raised is
+        retried with a fresh session (BrightData-style peer rotation)
+        before it becomes a :class:`NodeFailure` record.
         """
         self.world = world
         self.atlas_probes_per_country = atlas_probes_per_country
         self.atlas_repetitions = atlas_repetitions
+        self.max_node_retries = max(0, max_node_retries)
+        #: NodeFailure records from the most recent measure() call.
+        self.failures: List[NodeFailure] = []
         if client_seed is None:
             client_seed = world.config.seed + 1
         self.client = MeasurementClient(
@@ -145,6 +170,38 @@ class Campaign:
             )
             sink_do53.append(raw53)
 
+    def _guarded_node_task(self, node: ExitNode, sink_doh: List[DohRaw],
+                           sink_do53: List[Do53Raw]):
+        """Run the node's plan, isolating failures into records.
+
+        Each attempt buffers its samples locally and only commits on
+        success, so a half-measured attempt never pollutes the sinks;
+        a retry is a fresh session with fresh query names (the client's
+        RNG stream simply continues, which keeps every draw
+        deterministic).  :class:`SimulationError` still propagates — a
+        broken simulation must never masquerade as a node failure.
+        """
+        attempts = 1 + self.max_node_retries
+        last_error = ""
+        for _attempt in range(attempts):
+            local_doh: List[DohRaw] = []
+            local_do53: List[Do53Raw] = []
+            try:
+                yield from self._node_task(node, local_doh, local_do53)
+            except SimulationError:
+                raise
+            except Exception as exc:
+                last_error = str(exc) or exc.__class__.__name__
+                continue
+            sink_doh.extend(local_doh)
+            sink_do53.extend(local_do53)
+            return
+        self.failures.append(
+            NodeFailure(
+                node_id=node.node_id, error=last_error, attempts=attempts
+            )
+        )
+
     # -- execution ------------------------------------------------------------
 
     def measure(
@@ -164,13 +221,14 @@ class Campaign:
             nodes = world.nodes()
         raw_doh: List[DohRaw] = []
         raw_do53: List[Do53Raw] = []
+        self.failures = []
 
         batch_size = max(1, world.config.batch_size)
         for start in range(0, len(nodes), batch_size):
             batch = nodes[start:start + batch_size]
             processes = [
                 sim.spawn(
-                    self._node_task(node, raw_doh, raw_do53),
+                    self._guarded_node_task(node, raw_doh, raw_do53),
                     name="measure-{}".format(node.node_id),
                 )
                 for node in batch
@@ -186,6 +244,9 @@ class Campaign:
                         "(deadlock?)".format(process.name)
                     )
                 if not process.ok:
+                    # Only SimulationError escapes the guard; per-node
+                    # exceptions became NodeFailure records instead of
+                    # aborting the whole batch.
                     raise process.exception  # type: ignore[misc]
             # The heap is drained between batches: drop per-channel
             # bookkeeping so memory (and GC pressure) stays bounded on
@@ -248,6 +309,7 @@ class Campaign:
             raw_do53=kept_do53,
             discarded_doh=len(dropped_doh),
             discarded_do53=len(dropped_do53),
+            failures=list(self.failures),
         )
 
     def collect_atlas(self) -> List[AtlasRawSample]:

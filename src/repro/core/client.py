@@ -20,6 +20,7 @@ import random
 from typing import Optional, Tuple
 
 from repro.core.timeline import Do53Raw, DohRaw
+from repro.dns.message import Rcode
 from repro.doh.client import doh_query_on_stream
 from repro.doh.provider import ProviderConfig
 from repro.http.message import HeaderBag, HttpRequest, HttpResponse
@@ -159,7 +160,7 @@ class MeasurementClient:
                 crypto_ms=0.5,
             )
             stream = TlsConnection(conn, handshake, is_client=True)
-            _answer, _elapsed = yield from doh_query_on_stream(
+            answer, _elapsed = yield from doh_query_on_stream(
                 stream,
                 provider.domain,
                 qname,
@@ -174,6 +175,16 @@ class MeasurementClient:
             )
         t_d = sim.now
         conn.close()
+        if answer.rcode != Rcode.NOERROR:
+            # The transport worked but resolution did not (e.g. a
+            # SERVFAIL episode at the provider): a failed measurement,
+            # not a latency sample.
+            return self._doh_failure(
+                provider, country, actual_node, qname, t_a, t_d,
+                "provider answered {}".format(Rcode.to_text(answer.rcode)),
+                run_index,
+                exit_ip=exit_ip, headers=headers, t_b=t_b, t_c=t_c,
+            )
         return DohRaw(
             node_id=actual_node,
             exit_ip=exit_ip,

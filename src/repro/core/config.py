@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
+from repro.faults.plan import FaultPlan
 from repro.netsim.latency import LatencyParams
 from repro.proxy.population import PopulationConfig
 from repro.tls.handshake import TlsVersion
@@ -35,6 +36,9 @@ class ReproConfig:
     geolocation_error_rate: float = 0.0
     #: Number of clients measured concurrently (simulation batching).
     batch_size: int = 400
+    #: Deterministic fault schedule (None = healthy Internet).  Part of
+    #: the config so it shards and pickles; see ``repro.faults``.
+    faults: Optional[FaultPlan] = None
 
     @classmethod
     def small(cls, scale: float = 0.12, seed: int = 20210402) -> "ReproConfig":

@@ -31,6 +31,7 @@ from repro.doh.provider import (
     ProviderConfig,
     build_provider,
 )
+from repro.faults.injector import FaultInjector
 from repro.geo.cities import CITIES, City
 from repro.geo.coords import LatLon, geodesic_km
 from repro.geo.countries import COUNTRIES, SUPER_PROXY_COUNTRIES
@@ -100,6 +101,8 @@ class World:
     super_proxies: List[SuperProxy]
     population: PopulationResult
     client_host: Host
+    #: Present only when the config carries a FaultPlan.
+    fault_injector: Optional[FaultInjector] = None
 
     # -- conveniences ------------------------------------------------------
 
@@ -155,6 +158,12 @@ def build_world(
     network = Network(sim, rng, latency=LatencyModel(config.latency))
     allocator = IpAllocator()
     geolocation = GeolocationService(error_rate=config.geolocation_error_rate)
+
+    # -- fault injection (None for a healthy Internet) ---------------------
+    fault_injector: Optional[FaultInjector] = None
+    if config.faults is not None:
+        fault_injector = FaultInjector(config.faults, config.seed)
+        network.burst_loss = fault_injector.make_burst_loss()
 
     domain = config.measurement_domain
     # -- shared DNS infrastructure: root and TLD anycast ------------------
@@ -296,6 +305,7 @@ def build_world(
             warm_records,
             config=pconfig,
         )
+        providers[pconfig.name].fault_injector = fault_injector
 
     # -- BrightData ------------------------------------------------------------
     proxy_network = ProxyNetwork(rng)
@@ -314,6 +324,7 @@ def build_world(
         sp_resolver.warm(warm_records)
         super_proxy = SuperProxy(sp_host, proxy_network, rng,
                                  resolver=sp_resolver)
+        super_proxy.fault_injector = fault_injector
         super_proxy.start()
         proxy_network.add_super_proxy(super_proxy)
         super_proxies.append(super_proxy)
@@ -330,6 +341,9 @@ def build_world(
         warm_records=warm_records,
         provider_records=provider_a_records,
     )
+    if fault_injector is not None:
+        for node in population.nodes:
+            node.fault_injector = fault_injector
 
     # -- the measurement client (a university machine in the USA) ---------
     client_host = _dc_host(network, allocator, "measurement-client", ashburn)
@@ -352,4 +366,5 @@ def build_world(
         super_proxies=super_proxies,
         population=population,
         client_host=client_host,
+        fault_injector=fault_injector,
     )

@@ -146,9 +146,11 @@ class DatasetBuilder:
                 country=raw.claimed_country,
                 provider=raw.provider,
                 run_index=raw.run_index,
-                t_doh_ms=0.0,
-                t_dohr_ms=0.0,
-                rtt_estimate_ms=0.0,
+                # A failure has no latency: None (never 0.0) so a zero
+                # can never dilute latency percentiles unnoticed.
+                t_doh_ms=None,
+                t_dohr_ms=None,
+                rtt_estimate_ms=None,
                 success=False,
                 error=raw.error,
             )
@@ -161,7 +163,7 @@ class DatasetBuilder:
                 node_id=raw.node_id,
                 country=raw.claimed_country,
                 run_index=raw.run_index,
-                time_ms=raw.dns_ms if raw.success else 0.0,
+                time_ms=raw.dns_ms if raw.success else None,
                 source="brightdata",
                 valid=do53_valid(raw),
                 success=raw.success,

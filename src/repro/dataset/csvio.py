@@ -86,9 +86,9 @@ def load_csv(directory: str,
                 country=row["country"],
                 provider=row["provider"],
                 run_index=int(row["run_index"]),
-                t_doh_ms=float(row["t_doh_ms"]),
-                t_dohr_ms=float(row["t_dohr_ms"]),
-                rtt_estimate_ms=float(row["rtt_estimate_ms"]),
+                t_doh_ms=_parse_optional_float(row["t_doh_ms"]),
+                t_dohr_ms=_parse_optional_float(row["t_dohr_ms"]),
+                rtt_estimate_ms=_parse_optional_float(row["rtt_estimate_ms"]),
                 pop_ip_prefix=row["pop_ip_prefix"],
                 pop_lat=_parse_optional_float(row["pop_lat"]),
                 pop_lon=_parse_optional_float(row["pop_lon"]),
@@ -102,7 +102,7 @@ def load_csv(directory: str,
                 node_id=row["node_id"],
                 country=row["country"],
                 run_index=int(row["run_index"]),
-                time_ms=float(row["time_ms"]),
+                time_ms=_parse_optional_float(row["time_ms"]),
                 source=row["source"],
                 valid=_parse_bool(row["valid"]),
                 success=_parse_bool(row["success"]),

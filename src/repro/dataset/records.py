@@ -53,9 +53,12 @@ class DohSample:
     country: str
     provider: str
     run_index: int
-    t_doh_ms: float       # Equation 7 (first query, with handshake)
-    t_dohr_ms: float      # Equation 8 (connection reuse)
-    rtt_estimate_ms: float  # Equation 6 (client↔exit via proxy)
+    #: Equations 7/8/6; None for failed measurements — a failure has no
+    #: latency, and None (unlike 0.0) explodes loudly if an aggregation
+    #: forgets to filter on ``success``.
+    t_doh_ms: Optional[float]       # Equation 7 (first query, with handshake)
+    t_dohr_ms: Optional[float]      # Equation 8 (connection reuse)
+    rtt_estimate_ms: Optional[float]  # Equation 6 (client↔exit via proxy)
     #: /24 of the recursive resolver that hit our authoritative server
     #: for this query (how the paper discovers PoPs), "" if unobserved.
     pop_ip_prefix: str = ""
@@ -80,7 +83,8 @@ class Do53Sample:
     node_id: str
     country: str
     run_index: int
-    time_ms: float
+    #: None for failed measurements (see DohSample timing fields).
+    time_ms: Optional[float]
     source: str = "brightdata"  # or "ripeatlas"
     valid: bool = True
     success: bool = True

@@ -196,6 +196,9 @@ class DohProvider:
         self.config = config
         self.network = network
         self.rng = rng
+        #: Set by build_world when the config carries a FaultPlan; every
+        #: PoP consults it for outage windows (refusal / SERVFAIL).
+        self.fault_injector = None
         self.pops: List[DohPop] = []
         self._assignments: Dict[str, PopAssignment] = {}
         self._pop_by_ip: Dict[str, DohPop] = {}
@@ -236,6 +239,7 @@ class DohProvider:
                 use_tls=True,
                 processing_ms=self.config.frontend_ms,
                 tls_crypto_ms=self.config.tls_crypto_ms,
+                refuse=self._connection_refused,
             )
             pop.server = server
             server.start()
@@ -274,12 +278,30 @@ class DohProvider:
 
     # -- request handling ---------------------------------------------------
 
+    def _connection_refused(self) -> bool:
+        """Fault hook: drop connections during a "refuse" outage window."""
+        injector = self.fault_injector
+        if injector is None:
+            return False
+        return injector.provider_refuses(
+            self.config.name, self.network.sim.now
+        )
+
     def _make_handler(self, pop: DohPop):
         def handler(request: HttpRequest, info: ConnInfo):
             try:
                 query = decode_query_from_request(request)
             except DohWireError:
                 return HttpResponse(status=Status.BAD_REQUEST)
+            injector = self.fault_injector
+            if injector is not None and injector.provider_servfails(
+                self.config.name, self.network.sim.now
+            ):
+                # Backend outage: HTTPS stays up, resolution does not.
+                pop.queries_served += 1
+                return encode_response(
+                    query.respond(Rcode.SERVFAIL, ra=True)
+                )
             if self.config.forward_prob > 0.0 and (
                 self.rng.random() < self.config.forward_prob
             ):

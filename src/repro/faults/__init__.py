@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the simulated campaign.
+
+The real measurement platform was constantly failing underneath the
+paper's campaign: BrightData exit nodes churned mid-session, provider
+PoPs went dark or answered SERVFAIL, super proxies shed load, and
+residential links lost packets in bursts.  This package reproduces
+those failure modes *on purpose* and *reproducibly*:
+
+* :class:`~repro.faults.plan.FaultPlan` — a frozen, picklable schedule
+  of fault episodes, carried inside :class:`~repro.core.config.ReproConfig`
+  so it shards and pickles like everything else;
+* :class:`~repro.faults.injector.FaultInjector` — the runtime half,
+  built per world, answering "does this fault fire here and now?" from
+  RNG streams keyed on ``(seed, fault kind, entity, occurrence)`` so
+  every decision is independent of worker count and execution order.
+
+See ``docs/robustness.md`` for the determinism rules and the
+degradation policy consuming these faults.
+"""
+
+from repro.faults.injector import FaultInjector, GilbertElliottChain
+from repro.faults.plan import (
+    FaultPlan,
+    FaultWindow,
+    GilbertElliottLoss,
+    NodeChurn,
+    ProviderOutage,
+    SuperProxyOverload,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultWindow",
+    "GilbertElliottChain",
+    "GilbertElliottLoss",
+    "NodeChurn",
+    "ProviderOutage",
+    "SuperProxyOverload",
+]

@@ -1,0 +1,135 @@
+"""The runtime half of fault injection: keyed, deterministic decisions.
+
+One :class:`FaultInjector` is built per world (``build_world`` wires it
+into providers, super proxies, exit nodes and the network fabric).  The
+determinism contract that keeps the sharded executor's byte-identity
+invariant intact:
+
+* every decision draws from a **fresh RNG keyed on stable
+  identifiers** — ``(world seed, plan seed, fault kind, entity id,
+  occurrence counter)`` hashed with BLAKE2b.  Python's builtin
+  ``hash()`` is salted per process and must never be used here.
+* occurrence counters advance only with events that are themselves
+  deterministic within a shard (a node's n-th served command, a super
+  proxy's n-th request), so the same world produces the same faults
+  regardless of how the fleet is partitioned across workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Optional
+
+from repro.faults.plan import FaultPlan, GilbertElliottLoss
+
+__all__ = ["FaultInjector", "GilbertElliottChain"]
+
+
+class GilbertElliottChain:
+    """Stateful two-state bursty-loss process (one per network fabric)."""
+
+    __slots__ = ("spec", "rng", "bad")
+
+    def __init__(self, spec: GilbertElliottLoss, rng: random.Random) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.bad = False
+
+    def lost(self) -> bool:
+        """Step the chain one transmission; True if it eats the message."""
+        spec = self.spec
+        rng = self.rng
+        if self.bad:
+            if rng.random() < spec.p_exit_bad:
+                self.bad = False
+        elif rng.random() < spec.p_enter_bad:
+            self.bad = True
+        return self.bad and rng.random() < spec.bad_loss_rate
+
+
+class FaultInjector:
+    """Answers "does fault X fire for entity Y at time T?" deterministically."""
+
+    def __init__(self, plan: FaultPlan, world_seed: int) -> None:
+        self.plan = plan
+        self.world_seed = world_seed
+        self._outages_by_provider: Dict[str, list] = {}
+        for outage in plan.provider_outages:
+            self._outages_by_provider.setdefault(outage.provider, []).append(
+                outage
+            )
+        #: Per-super-proxy request counters (keyed by proxy country) —
+        #: deterministic within a shard's execution.
+        self._overload_counts: Dict[str, int] = {}
+
+    # -- keyed RNG streams -------------------------------------------------
+
+    def _rng(self, *key: object) -> random.Random:
+        material = repr((self.world_seed, self.plan.seed) + key)
+        digest = hashlib.blake2b(
+            material.encode("utf-8"), digest_size=8
+        ).digest()
+        return random.Random(int.from_bytes(digest, "big"))
+
+    # -- exit-node churn -----------------------------------------------------
+
+    def churn_delay_ms(
+        self, node_id: str, serve_index: int, now: float
+    ) -> Optional[float]:
+        """Delay until the node's connection dies, or None (no churn).
+
+        Evaluated once per agent command; *serve_index* is the node's
+        own served-command counter, so the decision depends only on the
+        node's measurement history, never on fleet partitioning.
+        """
+        churn = self.plan.node_churn
+        if churn is None or churn.rate <= 0.0:
+            return None
+        if not churn.window.active(now):
+            return None
+        rng = self._rng("churn", node_id, serve_index)
+        if rng.random() >= churn.rate:
+            return None
+        return rng.uniform(churn.min_delay_ms, churn.max_delay_ms)
+
+    # -- provider outages ----------------------------------------------------
+
+    def _outage_active(self, provider: str, mode: str, now: float) -> bool:
+        for outage in self._outages_by_provider.get(provider, ()):
+            if outage.mode == mode and outage.window.active(now):
+                return True
+        return False
+
+    def provider_refuses(self, provider: str, now: float) -> bool:
+        """Whether *provider*'s PoPs drop incoming connections at *now*."""
+        return self._outage_active(provider, "refuse", now)
+
+    def provider_servfails(self, provider: str, now: float) -> bool:
+        """Whether *provider* answers SERVFAIL at *now*."""
+        return self._outage_active(provider, "servfail", now)
+
+    # -- super-proxy overload ------------------------------------------------
+
+    def superproxy_rejects(self, proxy_country: str, now: float) -> bool:
+        """Whether this super proxy sheds the current request."""
+        overload = self.plan.superproxy_overload
+        if overload is None:
+            return False
+        count = self._overload_counts.get(proxy_country, 0) + 1
+        self._overload_counts[proxy_country] = count
+        if not overload.window.active(now):
+            return False
+        if overload.rate >= 1.0:
+            return True
+        rng = self._rng("overload", proxy_country, count)
+        return rng.random() < overload.rate
+
+    # -- bursty loss --------------------------------------------------------
+
+    def make_burst_loss(self) -> Optional[GilbertElliottChain]:
+        """The network fabric's Gilbert–Elliott chain, if configured."""
+        spec = self.plan.bursty_loss
+        if spec is None:
+            return None
+        return GilbertElliottChain(spec, self._rng("ge-loss"))

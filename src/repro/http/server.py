@@ -41,6 +41,7 @@ class HttpServer:
         use_tls: bool = False,
         processing_ms: float = 0.8,
         tls_crypto_ms: float = 1.2,
+        refuse: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -48,7 +49,12 @@ class HttpServer:
         self.use_tls = use_tls
         self.processing_ms = processing_ms
         self.tls_crypto_ms = tls_crypto_ms
+        #: Optional fault hook: when it returns True the server drops an
+        #: incoming connection before the (TLS) handshake — what a dead
+        #: or overloaded front end looks like from outside.
+        self.refuse = refuse
         self.requests_served = 0
+        self.connections_refused = 0
         self._listener = None
 
     def start(self) -> None:
@@ -66,6 +72,10 @@ class HttpServer:
     # -- per-connection service -------------------------------------------
 
     def _on_connection(self, conn: TcpConnection):
+        if self.refuse is not None and self.refuse():
+            self.connections_refused += 1
+            conn.close()
+            return
         stream = conn
         tls_version: Optional[str] = None
         if self.use_tls:

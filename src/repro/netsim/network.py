@@ -39,6 +39,10 @@ class Network:
         self.sim = sim
         self.rng = rng
         self.latency = latency or LatencyModel(LatencyParams())
+        #: Optional stateful bursty-loss process (an object with a
+        #: ``lost() -> bool`` method, e.g. a Gilbert–Elliott chain from
+        #: ``repro.faults``), layered on the i.i.d. loss model.
+        self.burst_loss = None
         self._hosts: Dict[str, Host] = {}
         # Anycast VIPs: address -> selector(client_host) -> concrete IP.
         self._anycast: Dict[str, Callable[[Host], str]] = {}
@@ -115,7 +119,12 @@ class Network:
 
     def sample_loss(self, src: Host, dst: Host) -> bool:
         """Sample whether one transmission between the hosts is lost."""
-        return self.latency.loss(src.site, dst.site, self.rng)
+        iid = self.latency.loss(src.site, dst.site, self.rng)
+        burst = self.burst_loss
+        # The chain steps on every transmission, even already-lost ones,
+        # so burst state is a function of transmission count alone.
+        bursty = burst is not None and burst.lost()
+        return iid or bursty
 
     def transmit(
         self,

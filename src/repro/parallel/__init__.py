@@ -7,7 +7,10 @@ single dataset that is byte-identical for any worker count.  See
 rules.
 """
 
-from repro.parallel.executor import run_parallel_campaign
+from repro.parallel.executor import (
+    ShardExecutionError,
+    run_parallel_campaign,
+)
 from repro.parallel.sharding import (
     DEFAULT_NUM_SHARDS,
     ShardSpec,
@@ -25,6 +28,7 @@ from repro.parallel.worker import (
 __all__ = [
     "AtlasTask",
     "DEFAULT_NUM_SHARDS",
+    "ShardExecutionError",
     "ShardResult",
     "ShardSpec",
     "ShardTask",

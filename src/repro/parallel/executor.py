@@ -2,28 +2,44 @@
 
 Partitions the exit-node fleet into ``num_shards`` deterministic
 shards (see :mod:`repro.parallel.sharding`), runs each shard's
-campaign in a worker process with ``multiprocessing`` (``spawn`` start
-method — workers receive only picklable configs, never live worlds),
-and merges the results into a single :class:`CampaignResult`.
+campaign in a worker process (``spawn`` start method — workers receive
+only picklable configs, never live worlds), and merges the results
+into a single :class:`CampaignResult`.
 
 The merge invariant: the returned dataset is **byte-identical for any
 worker count**, because
 
 * the shard partition depends only on ``(config, num_shards,
   max_nodes)``,
-* each shard's execution depends only on ``(config, shard spec)``,
+* each shard's execution depends only on ``(config, shard spec)`` —
+  including every injected fault, whose RNG streams are keyed on
+  stable identifiers (see :mod:`repro.faults`),
 * merged records are ordered canonically — DoH by ``(node_id,
   run_index, provider)``, Do53 by ``(node_id, run_index)``, clients by
   ``node_id`` — with shard index as the stable tiebreak.
 
 ``workers=1`` runs the same shard tasks inline in this process, so it
 is the reference execution the parity tests compare against.
+
+Worker resilience: tasks run under :func:`_execute_tasks`, which
+detects a worker process that died (``BrokenProcessPool`` — e.g.
+OOM-killed or segfaulted), applies an optional per-round watchdog
+timeout for hung workers, and retries failed tasks in a fresh pool up
+to ``max_shard_retries`` times.  A task that keeps failing raises
+:class:`ShardExecutionError` naming it — the executor never hangs and
+never fails anonymously.  Retries are safe because shard execution is
+a pure function of ``(config, spec)``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, List, Optional
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    TimeoutError as _FuturesTimeout,
+    as_completed,
+)
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.campaign import AtlasRawSample, CampaignResult
 from repro.core.config import ReproConfig
@@ -42,9 +58,95 @@ from repro.parallel.worker import (
     run_measurement_shard,
 )
 
-__all__ = ["run_parallel_campaign"]
+__all__ = ["ShardExecutionError", "run_parallel_campaign"]
 
 ProgressFn = Callable[[int, int], None]
+
+#: One unit of worker work: ``(function, argument, label)``.
+WorkItem = Tuple[Callable, object, str]
+
+
+class ShardExecutionError(RuntimeError):
+    """A worker task failed permanently (crash, hang or exception)."""
+
+    def __init__(self, label: str, cause: str) -> None:
+        super().__init__(
+            "worker task {!r} failed permanently: {}".format(label, cause)
+        )
+        self.label = label
+        self.cause = cause
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcibly end a pool's worker processes (hung-worker path)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+def _execute_tasks(
+    items: Sequence[WorkItem],
+    workers: int,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 2,
+    tick: Optional[Callable[[], None]] = None,
+) -> List[object]:
+    """Run every item's ``fn(arg)`` across *workers* processes.
+
+    Returns results aligned with *items*.  Dead workers are detected
+    (``BrokenProcessPool`` surfaces through the futures), hung rounds
+    are cut off after *timeout_s* seconds, and failed items are retried
+    in a fresh pool up to *max_retries* times before
+    :class:`ShardExecutionError` names the culprit.
+    """
+    results: dict = {}
+    attempts = {index: 0 for index in range(len(items))}
+    pending = list(range(len(items)))
+    context = multiprocessing.get_context("spawn")
+
+    while pending:
+        failed: dict = {}
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)), mp_context=context
+        )
+        try:
+            undone = {}
+            for index in pending:
+                fn, arg, _label = items[index]
+                undone[pool.submit(fn, arg)] = index
+            try:
+                for future in as_completed(list(undone), timeout=timeout_s):
+                    index = undone.pop(future)
+                    try:
+                        results[index] = future.result()
+                        if tick is not None:
+                            tick()
+                    except Exception as exc:
+                        failed[index] = "{}: {}".format(
+                            type(exc).__name__, exc
+                        )
+            except _FuturesTimeout:
+                # Watchdog: whatever has not finished is presumed hung.
+                for future, index in undone.items():
+                    future.cancel()
+                    failed[index] = (
+                        "no result within {:.0f}s watchdog "
+                        "(worker hung?)".format(timeout_s)
+                    )
+                _terminate_workers(pool)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+        for index in sorted(failed):
+            attempts[index] += 1
+            if attempts[index] > max_retries:
+                raise ShardExecutionError(items[index][2], failed[index])
+        pending = sorted(failed)
+
+    return [results[index] for index in range(len(items))]
 
 
 def run_parallel_campaign(
@@ -55,6 +157,8 @@ def run_parallel_campaign(
     atlas_repetitions: int = 2,
     max_nodes: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    shard_timeout_s: Optional[float] = None,
+    max_shard_retries: int = 2,
 ) -> CampaignResult:
     """Run the full campaign across *workers* processes.
 
@@ -62,7 +166,10 @@ def run_parallel_campaign(
     :data:`DEFAULT_NUM_SHARDS`); it is part of the experiment
     definition, while *workers* only controls wall-clock parallelism.
     *progress*, if given, is called as ``progress(done_tasks,
-    total_tasks)`` as shard/Atlas tasks complete.
+    total_tasks)`` as shard/Atlas tasks complete.  *shard_timeout_s*
+    arms the hung-worker watchdog (None = wait forever);
+    *max_shard_retries* bounds per-task retries after a worker crash,
+    hang or exception.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -84,42 +191,39 @@ def run_parallel_campaign(
             client_seed=config.seed + 1 + num_shards,
         )
 
-    total_tasks = len(shard_tasks) + (1 if atlas_task else 0)
+    items: List[WorkItem] = [
+        (run_measurement_shard, task, "shard-{}".format(task.spec.shard_index))
+        for task in shard_tasks
+    ]
+    if atlas_task is not None:
+        items.append((run_atlas_task, atlas_task, "atlas"))
+
     done = 0
 
     def tick() -> None:
         nonlocal done
         done += 1
         if progress is not None:
-            progress(done, total_tasks)
-
-    shard_results: List[ShardResult] = []
-    atlas_samples: List[AtlasRawSample] = []
+            progress(done, len(items))
 
     if workers == 1:
-        for task in shard_tasks:
-            shard_results.append(run_measurement_shard(task))
-            tick()
-        if atlas_task is not None:
-            atlas_samples = run_atlas_task(atlas_task)
+        outputs: List[object] = []
+        for fn, arg, _label in items:
+            outputs.append(fn(arg))
             tick()
     else:
-        context = multiprocessing.get_context("spawn")
-        pool_size = min(workers, total_tasks)
-        with context.Pool(processes=pool_size) as pool:
-            atlas_async = (
-                pool.apply_async(run_atlas_task, (atlas_task,))
-                if atlas_task is not None
-                else None
-            )
-            for result in pool.imap_unordered(
-                run_measurement_shard, shard_tasks, chunksize=1
-            ):
-                shard_results.append(result)
-                tick()
-            if atlas_async is not None:
-                atlas_samples = atlas_async.get()
-                tick()
+        outputs = _execute_tasks(
+            items,
+            workers,
+            timeout_s=shard_timeout_s,
+            max_retries=max_shard_retries,
+            tick=tick,
+        )
+
+    shard_results: List[ShardResult] = list(outputs[: len(shard_tasks)])
+    atlas_samples: List[AtlasRawSample] = (
+        list(outputs[len(shard_tasks)]) if atlas_task is not None else []
+    )
 
     return _merge(config, shard_results, atlas_samples)
 
@@ -151,6 +255,13 @@ def _merge(
     kept_doh.sort(key=lambda raw: (raw.node_id, raw.run_index, raw.provider))
     kept_do53.sort(key=lambda raw: (raw.node_id, raw.run_index))
 
+    # Node ids are unique across shards, so node_id alone is a total,
+    # partition-independent order for failure records.
+    failures = sorted(
+        (f for result in shard_results for f in result.failures),
+        key=lambda f: f.node_id,
+    )
+
     builder = DatasetBuilder(
         geolocation,
         min_clients_per_country=config.population.analyzed_threshold,
@@ -179,4 +290,5 @@ def _merge(
         raw_do53=kept_do53,
         discarded_doh=sum(r.dropped_doh for r in shard_results),
         discarded_do53=sum(r.dropped_do53 for r in shard_results),
+        failures=failures,
     )

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.campaign import AtlasRawSample, Campaign
+from repro.core.campaign import AtlasRawSample, Campaign, NodeFailure
 from repro.core.config import ReproConfig
 from repro.core.timeline import Do53Raw, DohRaw
 from repro.core.validation import filter_mismatched
@@ -80,6 +80,8 @@ class ShardResult:
     client_entries: List[Tuple[str, str, str]] = field(default_factory=list)
     #: Geolocation database snapshot (shard 0 only, None elsewhere).
     geo_snapshot: Optional[Dict[int, GeoRecord]] = None
+    #: Nodes whose task failed every retry (fault-injected campaigns).
+    failures: List[NodeFailure] = field(default_factory=list)
 
 
 def run_measurement_shard(task: ShardTask) -> ShardResult:
@@ -127,6 +129,7 @@ def run_measurement_shard(task: ShardTask) -> ShardResult:
         geo_snapshot=(
             world.geolocation.snapshot() if spec.shard_index == 0 else None
         ),
+        failures=list(campaign.failures),
     )
 
 

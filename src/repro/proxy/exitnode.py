@@ -105,6 +105,10 @@ class ExitNode:
         self.tunnels_served = 0
         self.fetches_served = 0
         self._listener = None
+        #: Set by build_world when the config carries a FaultPlan.
+        self.fault_injector = None
+        #: Commands accepted so far — the churn-decision counter.
+        self._serves = 0
 
     # -- identity --------------------------------------------------------
 
@@ -144,7 +148,22 @@ class ExitNode:
         if not isinstance(command, AgentCommand):
             conn.close()
             return
-        started = self.host.network.sim.now
+        sim = self.host.network.sim
+        self._serves += 1
+        injector = self.fault_injector
+        if injector is not None:
+            delay = injector.churn_delay_ms(
+                self.node_id, self._serves, sim.now
+            )
+            if delay is not None:
+                # The residential peer drops off mid-command: its agent
+                # connection dies after the sampled delay, wherever the
+                # serve happens to be (resolving, connecting, relaying).
+                sim.spawn(
+                    self._churn_disconnect(conn, delay),
+                    name="churn-{}".format(self.node_id),
+                )
+        started = sim.now
         if self.processing_ms > 0:
             yield self.host.busy(self.processing_ms)
         if command.action == "tunnel":
@@ -155,11 +174,19 @@ class ExitNode:
             self._reply(conn, AgentReply(ok=False, error="bad action"))
             conn.close()
 
+    def _churn_disconnect(self, conn: TcpConnection, delay_ms: float):
+        yield self.host.network.sim.timeout(delay_ms)
+        conn.close()
+
     def _reply(self, conn: TcpConnection, reply: AgentReply) -> None:
         size = _CONTROL_BYTES
         if reply.response is not None:
             size += reply.response.wire_size()
-        conn.send(reply, size)
+        try:
+            conn.send(reply, size)
+        except ConnectionClosed:
+            # The peer churned away mid-serve; nobody to reply to.
+            pass
 
     def _resolve_target(self, command: AgentCommand):
         """Resolve the command's target; generator → (ip, dns_ms, error)."""

@@ -69,6 +69,8 @@ class SuperProxy:
         self.tunnels_served = 0
         self.fetches_served = 0
         self._listener = None
+        #: Set by build_world when the config carries a FaultPlan.
+        self.fault_injector = None
 
     @property
     def country_code(self) -> str:
@@ -116,6 +118,13 @@ class SuperProxy:
             "validate": self.rng.uniform(0.2, 0.8),
         }
 
+    def _overloaded(self, now: float) -> bool:
+        """Whether an injected overload burst sheds this request."""
+        injector = self.fault_injector
+        return injector is not None and injector.superproxy_rejects(
+            self.country_code, now
+        )
+
     def _pick_node(self, request: HttpRequest) -> ExitNode:
         country = (request.headers.get("X-BD-Country") or "").upper()
         session = request.headers.get("X-BD-Session")
@@ -155,6 +164,12 @@ class SuperProxy:
         target_host, target_port, error = _parse_connect_target(request.target)
         if error:
             self._respond_error(conn, Status.BAD_REQUEST, error)
+            conn.close()
+            return
+        if self._overloaded(sim.now):
+            self._respond_error(
+                conn, Status.BAD_GATEWAY, "super proxy overloaded: no peer available"
+            )
             conn.close()
             return
         box = self._box_times()
@@ -239,6 +254,11 @@ class SuperProxy:
         target_host, path, error = _parse_absolute_url(request.target)
         if error:
             self._respond_error(conn, Status.BAD_REQUEST, error)
+            return
+        if self._overloaded(sim.now):
+            self._respond_error(
+                conn, Status.BAD_GATEWAY, "super proxy overloaded: no peer available"
+            )
             return
         box = self._box_times()
         yield self.host.busy(box["auth"] + box["init"] + box["select"])

@@ -13,10 +13,23 @@ from typing import List, Sequence, Tuple
 __all__ = ["empirical_cdf", "mean", "median", "percentile", "stddev"]
 
 
+def _reject_none(values: Sequence[float]) -> None:
+    """Failed measurements carry ``None`` timings; an aggregation that
+    sees one forgot to filter on ``success``/``valid`` — fail loudly
+    rather than let placeholder values dilute latency statistics."""
+    for value in values:
+        if value is None:
+            raise ValueError(
+                "sequence contains None (failed measurement left in "
+                "aggregation; filter on success/valid first)"
+            )
+
+
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean; raises on empty input."""
     if not values:
         raise ValueError("mean of empty sequence")
+    _reject_none(values)
     return sum(values) / len(values)
 
 
@@ -32,16 +45,20 @@ def percentile(values: Sequence[float], q: float) -> float:
         raise ValueError("percentile of empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be in [0, 100]")
+    _reject_none(values)
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100.0) * (len(ordered) - 1)
     low = int(math.floor(rank))
     high = int(math.ceil(rank))
-    if low == high:
+    if low == high or ordered[low] == ordered[high]:
         return ordered[low]
     frac = rank - low
-    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+    value = ordered[low] * (1.0 - frac) + ordered[high] * frac
+    # Clamp: the weighted sum can underflow outside the bracket for
+    # subnormal inputs, and interpolation must stay within it.
+    return min(max(value, ordered[low]), ordered[high])
 
 
 def median(values: Sequence[float]) -> float:
@@ -59,6 +76,7 @@ def empirical_cdf(
     """
     if not values:
         return []
+    _reject_none(values)
     ordered = sorted(values)
     n = len(ordered)
     if n <= points:

@@ -1,0 +1,102 @@
+"""Failure-rate analysis over a hand-built dataset."""
+
+from repro.analysis.failures import (
+    country_failure_rates,
+    failure_reasons,
+    provider_failure_rates,
+    render_failure_report,
+)
+from repro.dataset.records import Do53Sample, DohSample
+from repro.dataset.store import Dataset
+
+
+def _doh(provider, country, success, error=""):
+    return DohSample(
+        node_id="n-1", country=country, provider=provider, run_index=0,
+        t_doh_ms=100.0 if success else None,
+        t_dohr_ms=50.0 if success else None,
+        rtt_estimate_ms=40.0 if success else None,
+        success=success, error=error,
+    )
+
+
+def _do53(country, success, source="brightdata", error=""):
+    return Do53Sample(
+        node_id="n-1", country=country, run_index=0,
+        time_ms=30.0 if success else None,
+        source=source, valid=success, success=success, error=error,
+    )
+
+
+def _dataset():
+    doh = (
+        [_doh("quad9", "DE", False, "provider answered SERVFAIL")] * 3
+        + [_doh("quad9", "DE", True)]
+        + [_doh("cloudflare", "DE", True)] * 4
+        + [_doh("cloudflare", "FR", False, "exit node died")]
+        + [_doh("google", "FR", True)] * 2
+    )
+    do53 = [
+        _do53("DE", True),
+        _do53("FR", False, error="super proxy overloaded: no peer available"),
+        # Atlas supplements only ship successes; they must not dilute
+        # the per-country rates.
+        _do53("DE", True, source="ripeatlas"),
+    ]
+    return Dataset(doh=doh, do53=do53)
+
+
+class TestRates:
+    def test_provider_rates_worst_first(self):
+        rates = provider_failure_rates(_dataset())
+        assert [r.key for r in rates] == ["quad9", "cloudflare", "google"]
+        quad9 = rates[0]
+        assert (quad9.attempts, quad9.failures) == (4, 3)
+        assert quad9.rate == 0.75
+        assert rates[2].rate == 0.0
+
+    def test_country_rates_exclude_atlas(self):
+        rates = {r.key: r for r in country_failure_rates(_dataset())}
+        # DE: 8 DoH + 1 BrightData Do53 (the Atlas success is excluded).
+        assert rates["DE"].attempts == 9
+        assert rates["DE"].failures == 3
+        # FR: 3 DoH + 1 Do53, 2 failures.
+        assert rates["FR"].attempts == 4
+        assert rates["FR"].failures == 2
+
+    def test_rate_of_empty_key_is_zero(self):
+        from repro.analysis.failures import FailureRate
+
+        assert FailureRate("x", 0, 0).rate == 0.0
+
+
+class TestReasons:
+    def test_errors_are_categorised(self):
+        reasons = dict(failure_reasons(_dataset()))
+        assert reasons["servfail"] == 3
+        assert reasons["exit-node-died"] == 1
+        assert reasons["super-proxy-overloaded"] == 1
+
+    def test_unknown_errors_fall_back_to_other(self):
+        dataset = Dataset(doh=[_doh("quad9", "DE", False, "gremlins")])
+        assert dict(failure_reasons(dataset)) == {"other": 1}
+
+    def test_most_common_reason_first(self):
+        reasons = failure_reasons(_dataset())
+        counts = [count for _reason, count in reasons]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestRender:
+    def test_report_has_all_sections(self):
+        text = render_failure_report(_dataset())
+        assert "Failure rates by provider" in text
+        assert "Failure rates by country" in text
+        assert "Failure reasons" in text
+        assert "quad9" in text
+        assert "75.00%" in text
+
+    def test_report_on_clean_dataset(self):
+        clean = Dataset(doh=[_doh("google", "DE", True)])
+        text = render_failure_report(clean)
+        assert "(none)" in text

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.campaign import Campaign
 from repro.geo.countries import COUNTRIES, SUPER_PROXY_COUNTRIES
 
 
@@ -111,3 +112,73 @@ class TestValidation:
     def test_summary_mentions_counts(self, dataset):
         text = dataset.summary()
         assert str(len(dataset.clients)) in text
+
+
+class TestFailureIsolation:
+    """A node process that raises becomes a NodeFailure record; the
+    rest of the batch is measured normally (the paper's campaign never
+    aborted on one churned peer)."""
+
+    def _flaky_campaign(self, world, bad_id, fail_times, **kwargs):
+        calls = {"n": 0}
+
+        class Flaky(Campaign):
+            def _node_task(self, node, sink_doh, sink_do53):
+                if node.node_id == bad_id and calls["n"] < fail_times:
+                    calls["n"] += 1
+                    raise RuntimeError("node process crashed")
+                return super()._node_task(node, sink_doh, sink_do53)
+
+        return Flaky(world, atlas_probes_per_country=0, **kwargs)
+
+    def test_one_bad_node_does_not_abort_the_batch(self, small_world):
+        nodes = small_world.nodes()[:4]
+        bad_id = nodes[1].node_id
+        campaign = self._flaky_campaign(small_world, bad_id, fail_times=99)
+        raw_doh, raw_do53 = campaign.measure(nodes)
+
+        assert len(campaign.failures) == 1
+        failure = campaign.failures[0]
+        assert failure.node_id == bad_id
+        assert failure.error == "node process crashed"
+        assert failure.attempts == 2  # default max_node_retries=1
+        measured = {raw.node_id for raw in raw_doh}
+        assert bad_id not in measured
+        assert len(measured) == 3  # everyone else got measured
+
+    def test_flaky_node_recovers_on_retry(self, small_world):
+        nodes = small_world.nodes()[:2]
+        bad_id = nodes[0].node_id
+        campaign = self._flaky_campaign(small_world, bad_id, fail_times=1)
+        raw_doh, _raw_do53 = campaign.measure(nodes)
+
+        assert campaign.failures == []
+        assert bad_id in {raw.node_id for raw in raw_doh}
+
+    def test_zero_retries_fails_on_first_error(self, small_world):
+        nodes = small_world.nodes()[:2]
+        bad_id = nodes[0].node_id
+        campaign = self._flaky_campaign(
+            small_world, bad_id, fail_times=99, max_node_retries=0
+        )
+        campaign.measure(nodes)
+        assert campaign.failures[0].attempts == 1
+
+    def test_partial_attempt_leaves_no_samples(self, small_world):
+        # A node that measures everything and then dies must not leak
+        # its half-committed attempt into the sinks.
+        nodes = small_world.nodes()[:2]
+        bad_id = nodes[0].node_id
+
+        class DiesAtTheEnd(Campaign):
+            def _node_task(self, node, sink_doh, sink_do53):
+                yield from super()._node_task(node, sink_doh, sink_do53)
+                if node.node_id == bad_id:
+                    raise RuntimeError("died after measuring")
+
+        campaign = DiesAtTheEnd(small_world, atlas_probes_per_country=0)
+        raw_doh, raw_do53 = campaign.measure(nodes)
+
+        assert {f.node_id for f in campaign.failures} == {bad_id}
+        assert bad_id not in {raw.node_id for raw in raw_doh}
+        assert bad_id not in {raw.node_id for raw in raw_do53}

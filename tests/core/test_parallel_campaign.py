@@ -6,18 +6,24 @@ shards (``workers`` changes wall-clock only; ``num_shards`` is part of
 the experiment definition, like ``batch_size``).
 """
 
+import os
+import time
+
 import pytest
 
 from repro.core.campaign import Campaign
 from repro.core.config import ReproConfig
 from repro.core.world import build_world
+from repro.faults import FaultPlan
 from repro.netsim.engine import SimulationError
 from repro.parallel import (
+    ShardExecutionError,
     ShardSpec,
     make_shards,
     run_parallel_campaign,
     shard_items,
 )
+from repro.parallel.executor import _execute_tasks
 from repro.proxy.population import PopulationConfig
 
 PARITY_KWARGS = dict(
@@ -123,6 +129,97 @@ class TestWorkerParity:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             run_parallel_campaign(_small_config(), workers=0)
+
+
+class TestFaultedParity:
+    """The byte-identity invariant must survive fault injection."""
+
+    FAULTED_KWARGS = dict(
+        num_shards=4,
+        max_nodes=32,
+        atlas_probes_per_country=1,
+        atlas_repetitions=1,
+    )
+
+    def _faulted_config(self) -> ReproConfig:
+        return ReproConfig(
+            seed=55,
+            population=PopulationConfig(scale=0.006),
+            faults=FaultPlan.chaos(seed=3),
+        )
+
+    def test_workers_4_identical_dataset_with_faults(self):
+        serial = run_parallel_campaign(
+            self._faulted_config(), workers=1, **self.FAULTED_KWARGS
+        )
+        parallel = run_parallel_campaign(
+            self._faulted_config(), workers=4, **self.FAULTED_KWARGS
+        )
+        assert parallel.dataset.to_json() == serial.dataset.to_json()
+        assert parallel.failures == serial.failures
+        # The chaos plan must actually have produced failures to make
+        # the parity claim meaningful.
+        assert any(not s.success for s in serial.dataset.doh)
+
+
+# -- worker crash/hang simulation helpers (must be picklable) -------------
+
+def _double(value):
+    return value * 2
+
+
+def _die(_value):
+    os._exit(11)  # simulate an OOM-kill / segfault, no cleanup
+
+
+def _die_once(sentinel_path):
+    if not os.path.exists(sentinel_path):
+        with open(sentinel_path, "w"):
+            pass
+        os._exit(11)
+    return "recovered"
+
+
+def _hang(_value):
+    time.sleep(60)
+
+
+def _raise(_value):
+    raise RuntimeError("task exploded")
+
+
+class TestExecutorResilience:
+    """_execute_tasks: dead workers are detected and retried, never hung."""
+
+    def test_healthy_tasks_keep_item_order(self):
+        items = [(_double, n, "t{}".format(n)) for n in range(5)]
+        assert _execute_tasks(items, workers=2) == [0, 2, 4, 6, 8]
+
+    def test_crashed_worker_is_retried(self, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        items = [
+            (_double, 21, "ok"),
+            (_die_once, sentinel, "flaky"),
+        ]
+        results = _execute_tasks(items, workers=2, max_retries=2)
+        assert results == [42, "recovered"]
+
+    def test_permanent_crash_raises_named_error(self):
+        items = [(_die, None, "doomed-shard")]
+        with pytest.raises(ShardExecutionError, match="doomed-shard"):
+            _execute_tasks(items, workers=1, max_retries=1)
+
+    def test_task_exception_surfaces_after_retries(self):
+        items = [(_raise, None, "explosive")]
+        with pytest.raises(ShardExecutionError, match="task exploded"):
+            _execute_tasks(items, workers=1, max_retries=0)
+
+    def test_hung_worker_trips_watchdog(self):
+        items = [(_hang, None, "sleeper")]
+        with pytest.raises(ShardExecutionError, match="watchdog"):
+            _execute_tasks(
+                items, workers=1, timeout_s=1.0, max_retries=0
+            )
 
 
 class TestDeadlockDetection:

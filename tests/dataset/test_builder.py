@@ -60,7 +60,11 @@ class TestDohProcessing:
         builder.add_doh(make_raw(success=False))
         sample = builder.dataset.doh[0]
         assert not sample.success
-        assert sample.t_doh_ms == 0.0
+        # A failure has no latency: None, never a 0.0 that could dilute
+        # percentiles unnoticed.
+        assert sample.t_doh_ms is None
+        assert sample.t_dohr_ms is None
+        assert sample.rtt_estimate_ms is None
 
     def test_implausible_estimate_filtered(self, builder):
         # A 600ms retransmission during tunnel setup corrupts T_B-T_A:
@@ -119,3 +123,16 @@ class TestClientsAndDo53:
         sample = builder.dataset.do53[0]
         assert sample.source == "ripeatlas"
         assert sample.valid and sample.success
+
+    def test_failed_do53_stores_none_timing(self, builder):
+        builder.add_do53(Do53Raw(
+            node_id="node-1", exit_ip="20.0.0.1", claimed_country="DE",
+            qname="u9.a.com", dns_ms=0.0,
+            headers=TimelineHeaders(tun={}, box={}),
+            resolved_at="unknown",
+            success=False, error="fetch failed",
+        ))
+        sample = builder.dataset.do53[0]
+        assert not sample.success
+        assert sample.time_ms is None
+        assert sample.error == "fetch failed"

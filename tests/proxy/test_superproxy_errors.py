@@ -1,0 +1,159 @@
+"""Super Proxy error-path coverage: every 502/504 branch, observed
+end-to-end through the measurement client.
+
+A dedicated (module-scoped) world is built so these tests can stop
+nodes and swap agent listeners without disturbing the shared
+``small_world`` fixture.
+"""
+
+import random
+
+import pytest
+
+from repro.core.client import MeasurementClient
+from repro.core.config import ReproConfig
+from repro.core.world import build_world
+from repro.dns.recursive import ResolutionError
+from repro.geo.countries import SUPER_PROXY_COUNTRIES
+from repro.proxy.population import PopulationConfig
+
+
+@pytest.fixture(scope="module")
+def error_world():
+    config = ReproConfig(
+        seed=61, population=PopulationConfig(scale=0.01)
+    )
+    return build_world(config)
+
+
+@pytest.fixture()
+def client(error_world):
+    return MeasurementClient(error_world.client_host, random.Random(13))
+
+
+def client_provider():
+    from repro.doh.provider import PROVIDER_CONFIGS
+
+    return PROVIDER_CONFIGS["cloudflare"]
+
+
+def _pinned_node(world, in_super_proxy_country=False):
+    for node in world.nodes():
+        if node.mislabeled:
+            continue
+        in_sp = node.claimed_country in SUPER_PROXY_COUNTRIES
+        if in_sp == in_super_proxy_country:
+            return node
+    raise AssertionError("no suitable node in the fleet")
+
+
+def _sp_for(world, node):
+    return world.proxy_network.nearest_super_proxy(node.host.location)
+
+
+class TestExitNodeDeath:
+    """The agent connection dies after accept: 502 'exit node died'."""
+
+    def _with_dead_agent(self, world, node, measure):
+        def corpse(conn):
+            # Accept the command, then die without replying — closing
+            # before the recv would race the command against the FIN.
+            yield conn.recv()
+            conn.close()
+
+        node.stop()
+        listener = node.host.listen_tcp(node.agent_port, corpse)
+        try:
+            return world.run(measure())
+        finally:
+            listener.close()
+            node.start()
+
+    def test_connect_path_reports_exit_node_died(self, error_world, client):
+        node = _pinned_node(error_world)
+        sp = _sp_for(error_world, node)
+        provider = client_provider()
+        raw = self._with_dead_agent(
+            error_world, node,
+            lambda: client.measure_doh(
+                sp, provider, node.claimed_country, node_id=node.node_id
+            ),
+        )
+        assert not raw.success
+        assert raw.error == "exit node died"
+
+    def test_fetch_path_reports_exit_node_died(self, error_world, client):
+        node = _pinned_node(error_world)
+        sp = _sp_for(error_world, node)
+        raw = self._with_dead_agent(
+            error_world, node,
+            lambda: client.measure_do53(
+                sp, node.claimed_country, node_id=node.node_id
+            ),
+        )
+        assert not raw.success
+        assert raw.error == "exit node died"
+
+
+class TestBadAgentReply:
+    """A non-AgentReply answer: 504 'bad reply' via X-BD-Error."""
+
+    def test_garbage_reply_reported(self, error_world, client):
+        node = _pinned_node(error_world)
+        sp = _sp_for(error_world, node)
+
+        def liar(conn):
+            yield conn.recv()  # swallow the command
+            conn.send("not-an-agent-reply", 160)
+
+        node.stop()
+        listener = node.host.listen_tcp(node.agent_port, liar)
+        try:
+            raw = error_world.run(client.measure_doh(
+                sp, client_provider(), node.claimed_country,
+                node_id=node.node_id,
+            ))
+        finally:
+            listener.close()
+            node.start()
+        assert not raw.success
+        assert raw.error == "bad reply"
+
+
+class TestNoPeerAvailable:
+    def test_unknown_country_reports_no_exit_nodes(self, error_world, client):
+        sp = error_world.super_proxies[0]
+        raw = error_world.run(client.measure_doh(
+            sp, client_provider(), "ZZ"
+        ))
+        assert not raw.success
+        assert "no exit nodes" in raw.error
+
+    def test_fetch_path_no_peer(self, error_world, client):
+        sp = error_world.super_proxies[0]
+        raw = error_world.run(client.measure_do53(sp, "ZZ"))
+        assert not raw.success
+        assert "no exit nodes" in raw.error
+
+
+class TestCentralDnsFailure:
+    """The 11-country quirk: a super proxy resolving centrally can fail
+    resolution itself — the client must see 'dns failure', not a hang."""
+
+    class _BoomResolver:
+        def resolve(self, name, rrtype):
+            raise ResolutionError("injected resolver outage")
+
+    def test_central_resolution_error_reported(self, error_world, client):
+        node = _pinned_node(error_world, in_super_proxy_country=True)
+        sp = _sp_for(error_world, node)
+        saved = sp.resolver
+        sp.resolver = self._BoomResolver()
+        try:
+            raw = error_world.run(client.measure_do53(
+                sp, node.claimed_country, node_id=node.node_id
+            ))
+        finally:
+            sp.resolver = saved
+        assert not raw.success
+        assert raw.error == "dns failure"

@@ -95,3 +95,33 @@ class TestProperties:
     @given(samples)
     def test_stddev_nonnegative(self, values):
         assert stddev(values) >= 0.0
+
+
+class TestNoneGuard:
+    """Failed measurements carry None timings; an aggregation that sees
+    one forgot its success/valid filter and must fail loudly."""
+
+    def test_mean_rejects_none(self):
+        with pytest.raises(ValueError, match="None"):
+            mean([1.0, None, 3.0])
+
+    def test_percentile_rejects_none(self):
+        with pytest.raises(ValueError, match="None"):
+            percentile([None, 2.0], 50)
+
+    def test_cdf_rejects_none(self):
+        with pytest.raises(ValueError, match="None"):
+            empirical_cdf([1.0, None])
+
+
+class TestSubnormalRegression:
+    def test_median_of_equal_subnormals(self):
+        # 5e-324 * 0.5 underflows to 0.0 under round-to-even, which
+        # used to push the interpolated median outside [min, max].
+        tiny = 5e-324
+        assert median([tiny, tiny]) == tiny
+
+    def test_interpolation_stays_in_bracket(self):
+        tiny = 5e-324
+        value = percentile([tiny, 3 * tiny], 50)
+        assert tiny <= value <= 3 * tiny

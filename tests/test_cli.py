@@ -29,6 +29,27 @@ class TestCsvRoundtrip:
         assert loaded.doh[0] == dataset.doh[0]
         assert loaded.do53[0] == dataset.do53[0]
 
+    def test_roundtrip_preserves_none_timings(self, tmp_path):
+        # Failed samples store None, which CSV writes as "" — the
+        # round-trip must restore None, not 0.0.
+        from repro.dataset.records import Do53Sample, DohSample
+        from repro.dataset.store import Dataset
+
+        failed_doh = DohSample(
+            node_id="n-1", country="DE", provider="quad9", run_index=0,
+            t_doh_ms=None, t_dohr_ms=None, rtt_estimate_ms=None,
+            success=False, error="exit node died",
+        )
+        failed_do53 = Do53Sample(
+            node_id="n-1", country="DE", run_index=0, time_ms=None,
+            success=False, valid=False, error="fetch failed",
+        )
+        dataset = Dataset(doh=[failed_doh], do53=[failed_do53])
+        export_csv(dataset, str(tmp_path))
+        loaded = load_csv(str(tmp_path))
+        assert loaded.doh[0] == failed_doh
+        assert loaded.do53[0] == failed_do53
+
     def test_roundtrip_preserves_analysis(self, dataset, tmp_path):
         from repro.analysis.slowdown import headline_stats
 
@@ -71,6 +92,29 @@ class TestCli:
             assert main(["analyze", out_path, "--artifact", artifact]) == 0
             out = capsys.readouterr().out
             assert out.strip(), artifact
+
+    def test_faulted_campaign_and_failures_artifact(self, tmp_path, capsys):
+        out_path = str(tmp_path / "faulted.json")
+        code = main([
+            "campaign", "--scale", "0.004", "--seed", "7",
+            "--fault-preset", "chaos", "--fault-seed", "2",
+            "--atlas-probes", "0", "--out", out_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault injection enabled" in out
+
+        assert main(["analyze", out_path, "--artifact", "failures"]) == 0
+        out = capsys.readouterr().out
+        assert "Failure rates by provider" in out
+        assert "Failure reasons" in out
+
+    def test_bad_fault_preset_rejected(self):
+        with pytest.raises(ValueError):
+            main([
+                "campaign", "--scale", "0.003",
+                "--fault-preset", "meteor-strike",
+            ])
 
     def test_analyze_table4_needs_enough_data(self, tmp_path, capsys,
                                               dataset):
