@@ -26,6 +26,7 @@ from repro.core.config import ReproConfig
 from repro.core.groundtruth import GroundTruthHarness
 from repro.core.world import World, build_world
 from repro.dataset.store import Dataset
+from repro.obs import Observability
 from repro.parallel import run_parallel_campaign
 
 __version__ = "1.0.0"
@@ -35,6 +36,7 @@ __all__ = [
     "CampaignResult",
     "Dataset",
     "GroundTruthHarness",
+    "Observability",
     "ReproConfig",
     "World",
     "build_world",

@@ -1,0 +1,294 @@
+"""Phase-level latency decomposition from recorded traces.
+
+Equation 7 collapses a DoH measurement into a single number; a trace
+keeps the terms.  This module re-derives the paper's quantities *from
+the trace alone* and reconciles them against the exported dataset:
+
+* ``exit_dns`` + ``exit_tcp_connect`` — (t3+t4) and (t5+t6), straight
+  from the tun-timeline header,
+* ``tls_roundtrip`` — the client-observed TLS handshake time minus one
+  client↔exit round trip (Equation 6), i.e. (t11+t12),
+* ``query_roundtrip`` — the client-observed query exchange minus one
+  round trip, i.e. (t17..t20).
+
+Their sum equals Equation 7's t_DoH *identically* (the same header
+values feed both derivations), so ``reconcile_with_dataset`` holding
+within float tolerance is a strong end-to-end consistency check of
+client, proxy stack and dataset builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.dataset.store import Dataset
+from repro.obs.trace import DO53_PROVIDER_KEY, SampleTrace
+
+__all__ = [
+    "DOH_PHASES",
+    "PhaseAggregate",
+    "ReconcileReport",
+    "doh_phases",
+    "do53_phases",
+    "phase_breakdown",
+    "phase_summary",
+    "reconcile_with_dataset",
+    "render_phase_table",
+    "trace_rtt",
+    "trace_t_doh",
+]
+
+#: Canonical DoH phase order (matches the paper's t1–t20 timeline).
+DOH_PHASES = (
+    "exit_dns",
+    "exit_tcp_connect",
+    "tls_roundtrip",
+    "query_roundtrip",
+)
+
+
+def trace_rtt(trace: SampleTrace) -> Optional[float]:
+    """Equation 6 from the trace: client↔exit RTT via the Super Proxy.
+
+    ``tunnel_setup − (exit_dns + exit_tcp_connect) − t_BrightData``.
+    None when the trace is missing the tunnel phase (failed sample).
+    """
+    tunnel = trace.event("tunnel_setup")
+    dns = trace.event("exit_dns")
+    connect = trace.event("exit_tcp_connect")
+    if tunnel is None or dns is None or connect is None:
+        return None
+    brightdata = trace.duration_from("superproxy")
+    return tunnel.duration_ms - dns.duration_ms - connect.duration_ms \
+        - brightdata
+
+
+def doh_phases(trace: SampleTrace) -> Optional[Dict[str, float]]:
+    """The four-phase decomposition of one DoH trace, or None.
+
+    None when the measurement failed before the phases existed (no
+    handshake, no tunnel).  Keys follow :data:`DOH_PHASES`; the values
+    sum to Equation 7's t_DoH.
+    """
+    rtt = trace_rtt(trace)
+    handshake = trace.event("tls_handshake")
+    exchange = trace.event("query_exchange")
+    if rtt is None or handshake is None or exchange is None:
+        return None
+    return {
+        "exit_dns": trace.event("exit_dns").duration_ms,
+        "exit_tcp_connect": trace.event("exit_tcp_connect").duration_ms,
+        "tls_roundtrip": handshake.duration_ms - rtt,
+        "query_roundtrip": exchange.duration_ms - rtt,
+    }
+
+
+def do53_phases(trace: SampleTrace) -> Optional[Dict[str, float]]:
+    """The (single-phase) decomposition of one Do53 trace, or None."""
+    dns = trace.event("exit_dns")
+    if dns is None:
+        return None
+    return {"exit_dns": dns.duration_ms}
+
+
+def trace_t_doh(trace: SampleTrace) -> Optional[float]:
+    """t_DoH re-derived purely from the trace (sum of its phases)."""
+    phases = doh_phases(trace)
+    if phases is None:
+        return None
+    return sum(phases.values())
+
+
+@dataclass
+class PhaseAggregate:
+    """Aggregate of one phase across a set of traces."""
+
+    phase: str
+    count: int
+    total_ms: float
+    min_ms: float
+    max_ms: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def to_json(self) -> Dict:
+        """Plain-dict form for run manifests."""
+        return {
+            "phase": self.phase,
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 3),
+            "min_ms": round(self.min_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+        }
+
+
+def _aggregate(per_trace: Iterable[Dict[str, float]],
+               order: Iterable[str]) -> List[PhaseAggregate]:
+    aggregates: Dict[str, PhaseAggregate] = {}
+    for phases in per_trace:
+        for name, value in phases.items():
+            entry = aggregates.get(name)
+            if entry is None:
+                aggregates[name] = PhaseAggregate(
+                    phase=name, count=1, total_ms=value,
+                    min_ms=value, max_ms=value,
+                )
+            else:
+                entry.count += 1
+                entry.total_ms += value
+                entry.min_ms = min(entry.min_ms, value)
+                entry.max_ms = max(entry.max_ms, value)
+    ordered = [name for name in order if name in aggregates]
+    ordered += sorted(set(aggregates) - set(ordered))
+    return [aggregates[name] for name in ordered]
+
+
+def phase_breakdown(
+    traces: Iterable[SampleTrace],
+) -> Dict[str, List[PhaseAggregate]]:
+    """Per-provider phase aggregates (Do53 under ``"do53"``).
+
+    Only successful traces with a full decomposition contribute.
+    """
+    per_provider: Dict[str, List[Dict[str, float]]] = {}
+    for trace in traces:
+        if not trace.success:
+            continue
+        if trace.kind == "doh":
+            phases = doh_phases(trace)
+        else:
+            phases = do53_phases(trace)
+        if phases is not None:
+            per_provider.setdefault(trace.provider, []).append(phases)
+    return {
+        provider: _aggregate(per_provider[provider], DOH_PHASES)
+        for provider in sorted(per_provider)
+    }
+
+
+def phase_summary(traces: Iterable[SampleTrace]) -> Dict:
+    """JSON-ready per-provider phase aggregates (for run manifests)."""
+    return {
+        provider: [aggregate.to_json() for aggregate in aggregates]
+        for provider, aggregates in phase_breakdown(traces).items()
+    }
+
+
+@dataclass
+class ReconcileReport:
+    """Outcome of checking traces against the exported dataset."""
+
+    checked: int
+    missing_traces: int
+    #: ``(node_id, provider, run_index, |phase sum − t_doh_ms|)`` for
+    #: every sample beyond tolerance.
+    mismatches: List[tuple]
+    worst_diff_ms: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        """One-line human summary of the reconciliation outcome."""
+        status = "OK" if self.ok else "MISMATCH"
+        return (
+            "phase reconciliation {}: {} samples checked, "
+            "{} missing traces, worst diff {:.3g} ms, "
+            "{} beyond tolerance".format(
+                status, self.checked, self.missing_traces,
+                self.worst_diff_ms, len(self.mismatches),
+            )
+        )
+
+
+def reconcile_with_dataset(
+    traces,
+    dataset: Dataset,
+    tolerance_ms: float = 1e-6,
+) -> ReconcileReport:
+    """Check that per-sample phase sums reproduce the dataset's t_DoH.
+
+    *traces* is a :class:`~repro.obs.trace.TraceRecorder` (anything
+    with ``get(node_id, provider, run_index)``).  Every successful DoH
+    sample's ``t_doh_ms`` must equal the sum of its trace's phases
+    within *tolerance_ms*; Do53 samples must match their ``exit_dns``
+    phase.  Atlas samples have no trace and are skipped.
+    """
+    checked = 0
+    missing = 0
+    mismatches: List[tuple] = []
+    worst = 0.0
+
+    for sample in dataset.doh:
+        if not sample.success or sample.t_doh_ms is None:
+            continue
+        trace = traces.get(sample.node_id, sample.provider, sample.run_index)
+        derived = trace_t_doh(trace) if trace is not None else None
+        if derived is None:
+            missing += 1
+            continue
+        checked += 1
+        diff = abs(derived - sample.t_doh_ms)
+        worst = max(worst, diff)
+        if diff > tolerance_ms:
+            mismatches.append(
+                (sample.node_id, sample.provider, sample.run_index, diff)
+            )
+
+    for sample in dataset.do53:
+        if not sample.success or sample.source != "brightdata":
+            continue
+        if sample.time_ms is None:
+            continue
+        trace = traces.get(sample.node_id, DO53_PROVIDER_KEY,
+                           sample.run_index)
+        phases = do53_phases(trace) if trace is not None else None
+        if phases is None:
+            missing += 1
+            continue
+        checked += 1
+        diff = abs(phases["exit_dns"] - sample.time_ms)
+        worst = max(worst, diff)
+        if diff > tolerance_ms:
+            mismatches.append(
+                (sample.node_id, DO53_PROVIDER_KEY, sample.run_index, diff)
+            )
+
+    return ReconcileReport(
+        checked=checked,
+        missing_traces=missing,
+        mismatches=mismatches,
+        worst_diff_ms=worst,
+    )
+
+
+def render_phase_table(
+    breakdown: Dict[str, List[PhaseAggregate]],
+) -> List[str]:
+    """Plain-text lines for ``analyze --artifact phases``."""
+    lines = [
+        "Per-phase latency breakdown (mean ms over successful samples)",
+        "",
+        "{:<12} {:<18} {:>7} {:>10} {:>10} {:>10}".format(
+            "provider", "phase", "n", "mean", "min", "max"
+        ),
+    ]
+    for provider, aggregates in breakdown.items():
+        for aggregate in aggregates:
+            lines.append(
+                "{:<12} {:<18} {:>7} {:>10.3f} {:>10.3f} {:>10.3f}".format(
+                    provider,
+                    aggregate.phase,
+                    aggregate.count,
+                    aggregate.mean_ms,
+                    aggregate.min_ms,
+                    aggregate.max_ms,
+                )
+            )
+    if len(lines) == 3:
+        lines.append("(no successful traces)")
+    return lines

@@ -6,14 +6,17 @@ Commands:
   the dataset (JSON and/or CSV);
 * ``analyze``     — regenerate a paper artifact from a saved dataset;
 * ``groundtruth`` — run the §4 validation experiments (Tables 1–2);
-* ``info``        — describe what a configuration would build.
+* ``info``        — describe what a configuration would build;
+* ``trace``       — inspect recorded phase traces (``--observe`` runs).
 
 Examples::
 
     python -m repro campaign --scale 0.05 --out dataset.json
     python -m repro campaign --scale 1.0 --workers 4 --out dataset.json
+    python -m repro campaign --scale 0.05 --observe --out dataset.json
     python -m repro analyze dataset.json --artifact headlines
-    python -m repro analyze dataset.json --artifact table4
+    python -m repro analyze dataset.json --artifact phases
+    python -m repro trace dataset.traces.json --node AD-0000
     python -m repro groundtruth --repetitions 10
 """
 
@@ -36,6 +39,7 @@ __all__ = ["main"]
 _ARTIFACTS = (
     "headlines", "table3", "table4", "table5", "table6",
     "figure3", "figure6", "figure7", "providers", "failures",
+    "phases",
 )
 
 
@@ -77,6 +81,11 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--shard-retries", type=int, default=2,
                           help="max retries per shard task after a worker "
                                "crash or watchdog timeout")
+    campaign.add_argument("--observe", action="store_true",
+                          help="record phase traces and metrics; writes "
+                               "<out>.traces.json next to the dataset "
+                               "(never changes the dataset itself, see "
+                               "docs/observability.md)")
 
     analyze = sub.add_parser(
         "analyze", help="regenerate a paper artifact from a dataset"
@@ -84,6 +93,20 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("dataset", help="dataset JSON (from 'campaign')")
     analyze.add_argument("--artifact", choices=_ARTIFACTS,
                          default="headlines")
+    analyze.add_argument("--traces", default=None,
+                         help="trace sidecar for --artifact phases "
+                              "(default: <dataset>.traces.json)")
+
+    trace = sub.add_parser(
+        "trace", help="inspect phase traces from an --observe run"
+    )
+    trace.add_argument("traces", help="trace sidecar JSON "
+                                      "(<dataset>.traces.json)")
+    trace.add_argument("--node", help="exit-node id to show")
+    trace.add_argument("--provider", default=None,
+                       help="provider name, or 'do53' (default: all)")
+    trace.add_argument("--run", type=int, default=None,
+                       help="run index (default: all)")
 
     groundtruth = sub.add_parser(
         "groundtruth", help="run the §4 ground-truth validation"
@@ -125,8 +148,11 @@ def _cmd_campaign(args) -> int:
             atlas_probes_per_country=args.atlas_probes,
             shard_timeout_s=args.shard_timeout,
             max_shard_retries=args.shard_retries,
+            observe=args.observe,
         )
     else:
+        from repro.obs import Observability
+
         print("building world (scale={}, seed={})...".format(
             args.scale, args.seed))
         world = build_world(config)
@@ -134,7 +160,9 @@ def _cmd_campaign(args) -> int:
             len(world.network), len(world.nodes())))
         print("running campaign...")
         result = Campaign(
-            world, atlas_probes_per_country=args.atlas_probes
+            world,
+            atlas_probes_per_country=args.atlas_probes,
+            obs=Observability() if args.observe else None,
         ).run()
     dataset = result.dataset
     print("  " + dataset.summary())
@@ -142,9 +170,39 @@ def _cmd_campaign(args) -> int:
     if result.failures:
         print("  {} node(s) failed permanently (isolated, see "
               "'analyze --artifact failures')".format(len(result.failures)))
+
+    phases = None
+    if result.traces is not None:
+        from repro.analysis.phases import phase_summary
+
+        phases = phase_summary(result.traces)
+        print("  observability: {} traces, {} metrics".format(
+            len(result.traces), len(result.metrics["counters"])))
     if args.out:
+        from repro.obs.manifest import (
+            build_manifest, sidecar_path, write_manifest,
+        )
+
         dataset.save(args.out)
         print("dataset written to {}".format(args.out))
+        manifest = build_manifest(
+            config,
+            dataset=dataset,
+            dataset_path=args.out,
+            workers=args.workers,
+            num_shards=args.shards,
+            metrics=result.metrics,
+            phases=phases,
+            command="campaign --scale {} --seed {} --workers {}".format(
+                args.scale, args.seed, args.workers),
+        )
+        manifest_path = sidecar_path(args.out, "manifest")
+        write_manifest(manifest_path, manifest)
+        print("manifest written to {}".format(manifest_path))
+        if result.traces is not None:
+            traces_path = sidecar_path(args.out, "traces")
+            result.traces.save(traces_path)
+            print("traces written to {}".format(traces_path))
     if args.csv_dir:
         from repro.dataset.csvio import export_csv
 
@@ -232,6 +290,67 @@ def _cmd_analyze(args) -> int:
                     s.observed_pops,
                 )
             )
+    elif artifact == "phases":
+        import os
+
+        from repro.analysis.phases import (
+            phase_breakdown,
+            reconcile_with_dataset,
+            render_phase_table,
+        )
+        from repro.obs.manifest import sidecar_path
+        from repro.obs.trace import TraceRecorder
+
+        traces_path = args.traces or sidecar_path(args.dataset, "traces")
+        if not os.path.exists(traces_path):
+            print("no trace sidecar at {} — rerun the campaign with "
+                  "--observe".format(traces_path))
+            return 1
+        recorder = TraceRecorder.load(traces_path)
+        for line in render_phase_table(phase_breakdown(recorder)):
+            print(line)
+        print()
+        report = reconcile_with_dataset(recorder, dataset)
+        print(report.describe())
+        if not report.ok:
+            return 1
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.trace import TraceRecorder
+
+    recorder = TraceRecorder.load(args.traces)
+    selected = [
+        trace for trace in recorder
+        if (args.node is None or trace.node_id == args.node)
+        and (args.provider is None or trace.provider == args.provider)
+        and (args.run is None or trace.run_index == args.run)
+    ]
+    if args.node is None:
+        nodes = sorted({trace.node_id for trace in selected})
+        print("{} traces across {} nodes; use --node to inspect one"
+              .format(len(selected), len(nodes)))
+        for node_id in nodes[:20]:
+            count = sum(1 for t in selected if t.node_id == node_id)
+            print("  {} ({} traces)".format(node_id, count))
+        if len(nodes) > 20:
+            print("  ... and {} more nodes".format(len(nodes) - 20))
+        return 0
+    if not selected:
+        print("no traces match node={!r} provider={!r} run={!r}".format(
+            args.node, args.provider, args.run))
+        return 1
+    for trace in selected:
+        status = "ok" if trace.success else "FAILED: " + trace.error
+        print("{} / {} / run {} [{}] ({})".format(
+            trace.node_id, trace.provider, trace.run_index,
+            trace.kind, status))
+        for event in trace.events:
+            start = ("{:10.2f}".format(event.start_ms)
+                     if event.start_ms is not None else "         -")
+            print("  {:<18} {:<10} start {} ms  dur {:8.2f} ms".format(
+                event.name, event.source, start, event.duration_ms))
     return 0
 
 
@@ -277,6 +396,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "groundtruth": _cmd_groundtruth,
         "info": _cmd_info,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

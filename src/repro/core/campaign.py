@@ -35,6 +35,9 @@ from repro.dataset.store import Dataset
 from repro.doh.provider import PROVIDER_CONFIGS
 from repro.geo.countries import COUNTRIES, SUPER_PROXY_COUNTRIES
 from repro.netsim.engine import SimulationError
+from repro.obs import Observability
+from repro.obs.collect import collect_world_metrics
+from repro.obs.trace import TraceRecorder
 from repro.proxy.exitnode import ExitNode
 
 __all__ = ["AtlasRawSample", "Campaign", "CampaignResult", "NodeFailure"]
@@ -70,6 +73,12 @@ class CampaignResult:
     #: Nodes whose task failed every attempt (exceptions, not failed
     #: samples — those stay in raw_doh/raw_do53 with success=False).
     failures: List[NodeFailure] = field(default_factory=list)
+    #: Observability artefacts (None when the campaign ran unobserved):
+    #: a :meth:`MetricsRegistry.snapshot` dict and the populated
+    #: :class:`TraceRecorder`.  They live outside the dataset on
+    #: purpose — dataset bytes never depend on observability.
+    metrics: Optional[Dict] = None
+    traces: Optional[TraceRecorder] = None
 
     @property
     def discard_rate(self) -> float:
@@ -92,6 +101,7 @@ class Campaign:
         client_seed: Optional[int] = None,
         client_name_tag: str = "",
         max_node_retries: int = 1,
+        obs: Optional[Observability] = None,
     ) -> None:
         """*client_seed*/*client_name_tag* isolate the measurement
         client's RNG stream and query-name namespace; the sharded
@@ -102,11 +112,17 @@ class Campaign:
         *max_node_retries* bounds how often a node task that raised is
         retried with a fresh session (BrightData-style peer rotation)
         before it becomes a :class:`NodeFailure` record.
+
+        *obs* turns on the observability layer: the client records a
+        phase trace per measurement and the campaign scrapes metrics.
+        Observation is read-only — the produced records and dataset are
+        byte-identical with or without it.
         """
         self.world = world
         self.atlas_probes_per_country = atlas_probes_per_country
         self.atlas_repetitions = atlas_repetitions
         self.max_node_retries = max(0, max_node_retries)
+        self.obs = obs
         #: NodeFailure records from the most recent measure() call.
         self.failures: List[NodeFailure] = []
         if client_seed is None:
@@ -117,6 +133,7 @@ class Campaign:
             measurement_domain=world.config.measurement_domain,
             tls_version=world.config.tls_version,
             name_tag=client_name_tag,
+            recorder=obs.trace if obs is not None else None,
         )
         # Hot-path lookups hoisted out of the 22k-iteration node loop:
         # the provider list is per-config constant and the super-proxy
@@ -192,10 +209,16 @@ class Campaign:
                 raise
             except Exception as exc:
                 last_error = str(exc) or exc.__class__.__name__
+                if self.obs is not None:
+                    self.obs.metrics.inc("campaign.task_errors")
                 continue
             sink_doh.extend(local_doh)
             sink_do53.extend(local_do53)
+            if self.obs is not None:
+                self.obs.metrics.inc("campaign.nodes_measured")
             return
+        if self.obs is not None:
+            self.obs.metrics.inc("campaign.node_failures")
         self.failures.append(
             NodeFailure(
                 node_id=node.node_id, error=last_error, attempts=attempts
@@ -254,7 +277,38 @@ class Campaign:
             world.network.forget_flow_state()
             if progress is not None:
                 progress(min(start + batch_size, len(nodes)), len(nodes))
+        if self.obs is not None:
+            self._observe_measurements(raw_doh, raw_do53)
         return raw_doh, raw_do53
+
+    def _observe_measurements(
+        self, raw_doh: List[DohRaw], raw_do53: List[Do53Raw]
+    ) -> None:
+        """Scrape metrics for a finished measurement phase.
+
+        Totals use ``set_counter`` so calling this again (``run()``
+        re-scrapes after Atlas) refreshes rather than double-counts;
+        histograms are filled exactly once, here.
+        """
+        metrics = self.obs.metrics
+        metrics.set_counter("campaign.raw_doh", len(raw_doh))
+        metrics.set_counter("campaign.raw_do53", len(raw_do53))
+        metrics.set_counter(
+            "campaign.raw_doh_failed",
+            sum(1 for raw in raw_doh if not raw.success),
+        )
+        metrics.set_counter(
+            "campaign.raw_do53_failed",
+            sum(1 for raw in raw_do53 if not raw.success),
+        )
+        for raw in raw_doh:
+            if raw.success:
+                metrics.observe("doh.tunnel_ms", raw.t_b - raw.t_a)
+                metrics.observe("doh.exchange_ms", raw.t_d - raw.t_c)
+        for raw in raw_do53:
+            if raw.success:
+                metrics.observe("do53.dns_ms", raw.dns_ms)
+        collect_world_metrics(self.world, metrics)
 
     def run(
         self,
@@ -303,6 +357,18 @@ class Campaign:
         # -- RIPE Atlas supplement for the 11 super-proxy countries --------
         self._run_atlas(builder)
 
+        metrics_snapshot = None
+        traces = None
+        if self.obs is not None:
+            # Refresh world totals to cover the Atlas phase too.
+            collect_world_metrics(world, self.obs.metrics)
+            self.obs.metrics.set_counter("campaign.discarded_doh",
+                                         len(dropped_doh))
+            self.obs.metrics.set_counter("campaign.discarded_do53",
+                                         len(dropped_do53))
+            metrics_snapshot = self.obs.metrics.snapshot()
+            traces = self.obs.trace
+
         return CampaignResult(
             dataset=builder.build(),
             raw_doh=kept_doh,
@@ -310,6 +376,8 @@ class Campaign:
             discarded_doh=len(dropped_doh),
             discarded_do53=len(dropped_do53),
             failures=list(self.failures),
+            metrics=metrics_snapshot,
+            traces=traces,
         )
 
     def collect_atlas(self) -> List[AtlasRawSample]:

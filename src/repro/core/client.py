@@ -50,6 +50,7 @@ class MeasurementClient:
         measurement_domain: str = "a.com",
         tls_version: str = TlsVersion.TLS13,
         name_tag: str = "",
+        recorder=None,
     ) -> None:
         self.host = host
         self.rng = rng
@@ -59,6 +60,10 @@ class MeasurementClient:
         #: executions tag each shard's client so query names are unique
         #: across shards by construction, not just by random bits.
         self.name_tag = name_tag
+        #: Optional :class:`repro.obs.TraceRecorder`.  Recording reads
+        #: the finished raw record and already-observed timestamps only;
+        #: it never touches ``self.rng`` or the simulator.
+        self.recorder = recorder
         self._uuid_counter = 0
 
     # -- unique names -----------------------------------------------------
@@ -89,6 +94,18 @@ class MeasurementClient:
             headers.set("X-BD-Session", session)
         return headers
 
+    # -- observability -----------------------------------------------------
+
+    def _record_doh(self, raw: DohRaw, t_hs: Optional[float] = None) -> DohRaw:
+        if self.recorder is not None:
+            self.recorder.record_doh(raw, t_handshake_ms=t_hs)
+        return raw
+
+    def _record_do53(self, raw: Do53Raw) -> Do53Raw:
+        if self.recorder is not None:
+            self.recorder.record_do53(raw)
+        return raw
+
     # -- DoH ---------------------------------------------------------------
 
     def measure_doh(
@@ -115,10 +132,10 @@ class MeasurementClient:
             response = yield conn.recv(timeout_ms=_MEASUREMENT_TIMEOUT_MS)
         except (ConnectionClosed, SocketTimeout) as exc:
             conn.close()
-            return self._doh_failure(
+            return self._record_doh(self._doh_failure(
                 provider, country, node_id, qname, t_a, sim.now, str(exc),
                 run_index,
-            )
+            ))
         t_b = sim.now
         if not isinstance(response, HttpResponse) or not response.ok:
             error = "tunnel failed"
@@ -131,7 +148,7 @@ class MeasurementClient:
                 exit_ip = response.headers.get("X-BD-Exit-Ip", "")
                 actual_node = response.headers.get("X-BD-Node-Id", actual_node)
             conn.close()
-            return DohRaw(
+            return self._record_doh(DohRaw(
                 node_id=actual_node,
                 exit_ip=exit_ip,
                 claimed_country=country,
@@ -146,12 +163,13 @@ class MeasurementClient:
                 run_index=run_index,
                 success=False,
                 error=error,
-            )
+            ))
         headers = TimelineHeaders.from_headers(response.headers)
         exit_ip = response.headers.get("X-BD-Exit-Ip", "")
         actual_node = response.headers.get("X-BD-Node-Id", node_id or "")
 
         t_c = sim.now
+        t_hs: Optional[float] = None
         try:
             handshake = yield from client_handshake(
                 conn,
@@ -159,6 +177,7 @@ class MeasurementClient:
                 version=self.tls_version,
                 crypto_ms=0.5,
             )
+            t_hs = sim.now
             stream = TlsConnection(conn, handshake, is_client=True)
             answer, _elapsed = yield from doh_query_on_stream(
                 stream,
@@ -168,24 +187,24 @@ class MeasurementClient:
             )
         except Exception as exc:
             conn.close()
-            return self._doh_failure(
+            return self._record_doh(self._doh_failure(
                 provider, country, actual_node, qname, t_a, sim.now,
                 "doh exchange failed: {}".format(exc), run_index,
                 exit_ip=exit_ip, headers=headers, t_b=t_b, t_c=t_c,
-            )
+            ), t_hs)
         t_d = sim.now
         conn.close()
         if answer.rcode != Rcode.NOERROR:
             # The transport worked but resolution did not (e.g. a
             # SERVFAIL episode at the provider): a failed measurement,
             # not a latency sample.
-            return self._doh_failure(
+            return self._record_doh(self._doh_failure(
                 provider, country, actual_node, qname, t_a, t_d,
                 "provider answered {}".format(Rcode.to_text(answer.rcode)),
                 run_index,
                 exit_ip=exit_ip, headers=headers, t_b=t_b, t_c=t_c,
-            )
-        return DohRaw(
+            ), t_hs)
+        return self._record_doh(DohRaw(
             node_id=actual_node,
             exit_ip=exit_ip,
             claimed_country=country,
@@ -198,7 +217,7 @@ class MeasurementClient:
             headers=headers,
             tls_version=self.tls_version,
             run_index=run_index,
-        )
+        ), t_hs)
 
     def _doh_failure(
         self,
@@ -255,7 +274,7 @@ class MeasurementClient:
             response = yield conn.recv(timeout_ms=_MEASUREMENT_TIMEOUT_MS)
         except (ConnectionClosed, SocketTimeout) as exc:
             conn.close()
-            return Do53Raw(
+            return self._record_do53(Do53Raw(
                 node_id=node_id or "",
                 exit_ip="",
                 claimed_country=country,
@@ -266,13 +285,13 @@ class MeasurementClient:
                 run_index=run_index,
                 success=False,
                 error=str(exc),
-            )
+            ))
         conn.close()
         if not isinstance(response, HttpResponse) or not response.ok:
             error = "fetch failed"
             if isinstance(response, HttpResponse):
                 error = response.headers.get("X-BD-Error", error)
-            return Do53Raw(
+            return self._record_do53(Do53Raw(
                 node_id=node_id or "",
                 exit_ip="",
                 claimed_country=country,
@@ -283,9 +302,9 @@ class MeasurementClient:
                 run_index=run_index,
                 success=False,
                 error=error,
-            )
+            ))
         headers = TimelineHeaders.from_headers(response.headers)
-        return Do53Raw(
+        return self._record_do53(Do53Raw(
             node_id=response.headers.get("X-BD-Node-Id", node_id or ""),
             exit_ip=response.headers.get("X-BD-Exit-Ip", ""),
             claimed_country=country,
@@ -294,4 +313,4 @@ class MeasurementClient:
             headers=headers,
             resolved_at=response.headers.get("X-BD-DNS-At", "exit"),
             run_index=run_index,
-        )
+        ))

@@ -25,6 +25,8 @@ TLS round trip equals the TCP handshake (t11+t12 = t5+t6):
 
 from __future__ import annotations
 
+import math
+
 from repro.core.timeline import DohRaw
 
 __all__ = [
@@ -81,4 +83,10 @@ def doh_n(t_doh: float, t_dohr: float, n: int) -> float:
     """
     if n < 1:
         raise ValueError("n must be >= 1")
+    # A NaN or infinity here means a failed measurement slipped past a
+    # success filter; averaging it in would silently poison DoH-N.
+    if not math.isfinite(t_doh):
+        raise ValueError("non-finite t_doh: {!r}".format(t_doh))
+    if not math.isfinite(t_dohr):
+        raise ValueError("non-finite t_dohr: {!r}".format(t_dohr))
     return (t_doh + (n - 1) * t_dohr) / float(n)

@@ -29,12 +29,14 @@ __all__ = ["FaultInjector", "GilbertElliottChain"]
 class GilbertElliottChain:
     """Stateful two-state bursty-loss process (one per network fabric)."""
 
-    __slots__ = ("spec", "rng", "bad")
+    __slots__ = ("spec", "rng", "bad", "losses")
 
     def __init__(self, spec: GilbertElliottLoss, rng: random.Random) -> None:
         self.spec = spec
         self.rng = rng
         self.bad = False
+        #: Lifetime count of eaten transmissions (scraped by repro.obs).
+        self.losses = 0
 
     def lost(self) -> bool:
         """Step the chain one transmission; True if it eats the message."""
@@ -45,7 +47,10 @@ class GilbertElliottChain:
                 self.bad = False
         elif rng.random() < spec.p_enter_bad:
             self.bad = True
-        return self.bad and rng.random() < spec.bad_loss_rate
+        if self.bad and rng.random() < spec.bad_loss_rate:
+            self.losses += 1
+            return True
+        return False
 
 
 class FaultInjector:
@@ -62,6 +67,13 @@ class FaultInjector:
         #: Per-super-proxy request counters (keyed by proxy country) —
         #: deterministic within a shard's execution.
         self._overload_counts: Dict[str, int] = {}
+        #: Lifetime activation counts per fault kind (scraped by
+        #: repro.obs); deterministic for the same reasons the decisions
+        #: themselves are.
+        self.activations: Dict[str, int] = {}
+
+    def _fired(self, kind: str) -> None:
+        self.activations[kind] = self.activations.get(kind, 0) + 1
 
     # -- keyed RNG streams -------------------------------------------------
 
@@ -91,6 +103,7 @@ class FaultInjector:
         rng = self._rng("churn", node_id, serve_index)
         if rng.random() >= churn.rate:
             return None
+        self._fired("node_churn")
         return rng.uniform(churn.min_delay_ms, churn.max_delay_ms)
 
     # -- provider outages ----------------------------------------------------
@@ -103,11 +116,17 @@ class FaultInjector:
 
     def provider_refuses(self, provider: str, now: float) -> bool:
         """Whether *provider*'s PoPs drop incoming connections at *now*."""
-        return self._outage_active(provider, "refuse", now)
+        if self._outage_active(provider, "refuse", now):
+            self._fired("provider_refuse")
+            return True
+        return False
 
     def provider_servfails(self, provider: str, now: float) -> bool:
         """Whether *provider* answers SERVFAIL at *now*."""
-        return self._outage_active(provider, "servfail", now)
+        if self._outage_active(provider, "servfail", now):
+            self._fired("provider_servfail")
+            return True
+        return False
 
     # -- super-proxy overload ------------------------------------------------
 
@@ -121,9 +140,13 @@ class FaultInjector:
         if not overload.window.active(now):
             return False
         if overload.rate >= 1.0:
+            self._fired("superproxy_overload")
             return True
         rng = self._rng("overload", proxy_country, count)
-        return rng.random() < overload.rate
+        if rng.random() < overload.rate:
+            self._fired("superproxy_overload")
+            return True
+        return False
 
     # -- bursty loss --------------------------------------------------------
 

@@ -203,6 +203,11 @@ class Simulator:
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._running = False
+        #: Lifetime totals, scraped by ``repro.obs.collect``.  They are
+        #: pure functions of the deterministic execution, so they merge
+        #: identically for any worker count at a fixed shard layout.
+        self.events_scheduled = 0
+        self.events_executed = 0
 
     # -- scheduling ----------------------------------------------------
 
@@ -211,6 +216,7 @@ class Simulator:
         if delay < 0:
             raise SimulationError("cannot schedule in the past ({})".format(delay))
         self._seq += 1
+        self.events_scheduled += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
 
     def event(self) -> Event:
@@ -235,6 +241,7 @@ class Simulator:
         if time < self.now:
             raise SimulationError("event queue corrupted: time moved backwards")
         self.now = time
+        self.events_executed += 1
         callback()
         return True
 

@@ -45,6 +45,8 @@ from repro.core.campaign import AtlasRawSample, CampaignResult
 from repro.core.config import ReproConfig
 from repro.dataset.builder import DatasetBuilder
 from repro.geo.geolocate import GeolocationService
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.parallel.sharding import (
     DEFAULT_NUM_SHARDS,
     ShardSpec,
@@ -159,6 +161,7 @@ def run_parallel_campaign(
     progress: Optional[ProgressFn] = None,
     shard_timeout_s: Optional[float] = None,
     max_shard_retries: int = 2,
+    observe: bool = False,
 ) -> CampaignResult:
     """Run the full campaign across *workers* processes.
 
@@ -170,6 +173,10 @@ def run_parallel_campaign(
     arms the hung-worker watchdog (None = wait forever);
     *max_shard_retries* bounds per-task retries after a worker crash,
     hang or exception.
+
+    *observe* runs every shard with the observability layer on; the
+    merged result then carries summed counters, merged histograms and
+    all shard traces.  The dataset stays byte-identical either way.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -179,7 +186,9 @@ def run_parallel_campaign(
         raise ValueError("num_shards must be >= 1")
 
     specs = make_shards(num_shards, max_nodes=max_nodes)
-    shard_tasks = [ShardTask(config, spec) for spec in specs]
+    shard_tasks = [
+        ShardTask(config, spec, observe=observe) for spec in specs
+    ]
     atlas_task: Optional[AtlasTask] = None
     if atlas_probes_per_country > 0:
         atlas_task = AtlasTask(
@@ -284,6 +293,23 @@ def _merge(
     for probe_id, country, index, time_ms in atlas_samples:
         builder.add_atlas_do53(probe_id, country, index, time_ms)
 
+    # Deterministic observability merge: shard_results is already in
+    # shard-index order, so counter sums and histogram folds associate
+    # identically for any worker count.  Gauges live under shard-unique
+    # names and are exempt from that guarantee (wall clock).
+    metrics_snapshot = None
+    traces = None
+    if any(result.metrics is not None for result in shard_results):
+        merged = MetricsRegistry()
+        recorder = TraceRecorder()
+        for result in shard_results:
+            if result.metrics is not None:
+                merged.merge_snapshot(result.metrics)
+            if result.traces is not None:
+                recorder.merge_snapshot(result.traces)
+        metrics_snapshot = merged.snapshot()
+        traces = recorder
+
     return CampaignResult(
         dataset=builder.build(),
         raw_doh=kept_doh,
@@ -291,4 +317,6 @@ def _merge(
         discarded_doh=sum(r.dropped_doh for r in shard_results),
         discarded_do53=sum(r.dropped_do53 for r in shard_results),
         failures=failures,
+        metrics=metrics_snapshot,
+        traces=traces,
     )

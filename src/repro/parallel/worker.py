@@ -20,6 +20,7 @@ Everything here must stay importable at module top level — the
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -29,6 +30,7 @@ from repro.core.timeline import Do53Raw, DohRaw
 from repro.core.validation import filter_mismatched
 from repro.core.world import build_world
 from repro.geo.geolocate import GeoRecord
+from repro.obs import Observability
 from repro.parallel.sharding import ShardSpec, shard_items
 
 __all__ = [
@@ -46,6 +48,10 @@ class ShardTask:
 
     config: ReproConfig
     spec: ShardSpec
+    #: Run the shard with the observability layer on; the worker ships
+    #: metrics/trace snapshots back as plain data.  Never affects the
+    #: measured records themselves.
+    observe: bool = False
 
 
 @dataclass(frozen=True)
@@ -82,18 +88,26 @@ class ShardResult:
     geo_snapshot: Optional[Dict[int, GeoRecord]] = None
     #: Nodes whose task failed every retry (fault-injected campaigns).
     failures: List[NodeFailure] = field(default_factory=list)
+    #: Observability snapshots (None when the shard ran unobserved):
+    #: :meth:`MetricsRegistry.snapshot` / :meth:`TraceRecorder.snapshot`
+    #: plain-data forms, mergeable in the parent in shard-index order.
+    metrics: Optional[Dict] = None
+    traces: Optional[List[Dict]] = None
 
 
 def run_measurement_shard(task: ShardTask) -> ShardResult:
     """Build a world and measure this shard's slice of the fleet."""
     config = task.config
     spec = task.spec
+    obs = Observability() if task.observe else None
+    wall_start = time.perf_counter()
     world = build_world(config)
     campaign = Campaign(
         world,
         atlas_probes_per_country=0,
         client_seed=spec.client_seed(config.seed),
         client_name_tag=spec.name_tag(),
+        obs=obs,
     )
     nodes = shard_items(world.nodes(), spec)
     raw_doh, raw_do53 = campaign.measure(nodes)
@@ -118,6 +132,21 @@ def run_measurement_shard(task: ShardTask) -> ShardResult:
         if node.node_id in measured_ids
     ]
 
+    metrics_snapshot = None
+    trace_snapshot = None
+    if obs is not None:
+        obs.metrics.set_counter("campaign.discarded_doh", len(dropped_doh))
+        obs.metrics.set_counter("campaign.discarded_do53", len(dropped_do53))
+        # Wall clock is inherently nondeterministic: a gauge under a
+        # shard-unique name, never a counter, so determinism tests can
+        # compare counters/histograms and ignore gauges wholesale.
+        obs.metrics.set_gauge(
+            "shard.{}.wall_s".format(spec.shard_index),
+            time.perf_counter() - wall_start,
+        )
+        metrics_snapshot = obs.metrics.snapshot()
+        trace_snapshot = obs.trace.snapshot()
+
     return ShardResult(
         shard_index=spec.shard_index,
         kept_doh=kept_doh,
@@ -130,6 +159,8 @@ def run_measurement_shard(task: ShardTask) -> ShardResult:
             world.geolocation.snapshot() if spec.shard_index == 0 else None
         ),
         failures=list(campaign.failures),
+        metrics=metrics_snapshot,
+        traces=trace_snapshot,
     )
 
 

@@ -18,6 +18,7 @@ Values are encoded ``key:<float ms>`` joined by semicolons, e.g.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Mapping, Tuple
 
 __all__ = [
@@ -32,13 +33,33 @@ TUN_TIMELINE_HEADER = "X-luminati-tun-timeline"
 TIMELINE_HEADER = "X-luminati-timeline"
 
 
+def _validated_ms(key: str, value: float) -> float:
+    """A timeline value must be a finite, non-negative duration.
+
+    Equations 6–8 silently absorb whatever number appears here — a NaN
+    would propagate into every derived t_DoH and poison aggregate
+    statistics downstream, so both codec directions reject it at the
+    boundary.
+    """
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(
+            "non-finite timeline value for {!r}: {!r}".format(key, value)
+        )
+    if value < 0.0:
+        raise ValueError(
+            "negative timeline value for {!r}: {!r}".format(key, value)
+        )
+    return value
+
+
 def encode_timeline(values: Mapping[str, float]) -> str:
     """Encode ``{key: milliseconds}`` into the header wire format."""
     parts: List[str] = []
     for key, value in values.items():
         if ";" in key or ":" in key:
             raise ValueError("illegal character in timeline key {!r}".format(key))
-        parts.append("{}:{:.2f}".format(key, float(value)))
+        parts.append("{}:{:.2f}".format(key, _validated_ms(key, value)))
     return ";".join(parts)
 
 
@@ -54,7 +75,8 @@ def decode_timeline(text: str) -> Dict[str, float]:
         key, sep, raw = part.partition(":")
         if not sep:
             raise ValueError("malformed timeline element {!r}".format(part))
-        values[key.strip()] = float(raw)
+        key = key.strip()
+        values[key] = _validated_ms(key, float(raw))
     return values
 
 

@@ -35,6 +35,8 @@ def mean(values: Sequence[float]) -> float:
 
 def stddev(values: Sequence[float]) -> float:
     """Population standard deviation; raises on empty input."""
+    if not values:
+        raise ValueError("stddev of empty sequence")
     mu = mean(values)
     return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
 
@@ -72,8 +74,16 @@ def empirical_cdf(
     """Empirical CDF of *values* as ``(x, F(x))`` pairs.
 
     With ``points`` below the sample size, the curve is subsampled at
-    evenly spaced quantiles (what a plotting script would draw).
+    evenly spaced order statistics: indices ``j*(n-1)//(points-1)``
+    for ``j`` in ``[0, points)``.  Floor-based indexing keeps the
+    subsample a strict subset of the full CDF, strictly increasing in
+    index, and always anchored at the minimum (``j=0``) and maximum
+    (``j=points-1``) — the previous banker's-rounding arithmetic could
+    duplicate interior points and omit the minimum entirely, visibly
+    clipping the left edge of Figure 4's curves.
     """
+    if points <= 0:
+        return []
     if not values:
         return []
     _reject_none(values)
@@ -81,9 +91,10 @@ def empirical_cdf(
     n = len(ordered)
     if n <= points:
         return [(x, (i + 1) / n) for i, x in enumerate(ordered)]
+    if points == 1:
+        return [(ordered[-1], 1.0)]
     series: List[Tuple[float, float]] = []
     for j in range(points):
-        fraction = (j + 1) / points
-        index = max(0, min(n - 1, int(round(fraction * n)) - 1))
+        index = (j * (n - 1)) // (points - 1)
         series.append((ordered[index], (index + 1) / n))
     return series

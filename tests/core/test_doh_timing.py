@@ -109,6 +109,20 @@ class TestDohN:
         with pytest.raises(ValueError):
             doh_n(400.0, 200.0, 0)
 
+    def test_non_finite_timings_rejected(self):
+        # Regression: a NaN from an unfiltered failed measurement used
+        # to average straight into DoH-N and poison every aggregate.
+        nan = float("nan")
+        inf = float("inf")
+        with pytest.raises(ValueError, match="t_doh"):
+            doh_n(nan, 200.0, 10)
+        with pytest.raises(ValueError, match="t_dohr"):
+            doh_n(400.0, nan, 10)
+        with pytest.raises(ValueError, match="t_doh"):
+            doh_n(inf, 200.0, 10)
+        with pytest.raises(ValueError, match="t_dohr"):
+            doh_n(400.0, -inf, 10)
+
     @given(
         st.floats(min_value=1.0, max_value=5000.0),
         st.floats(min_value=1.0, max_value=5000.0),

@@ -1,0 +1,78 @@
+"""Run manifests: hashing stability, sidecar naming, content."""
+
+import json
+
+from repro import __version__
+from repro.core.config import ReproConfig
+from repro.obs.manifest import (
+    build_manifest,
+    config_hash,
+    sidecar_path,
+    write_manifest,
+)
+from repro.proxy.population import PopulationConfig
+
+
+def _config(seed=1, scale=0.01):
+    return ReproConfig(
+        seed=seed, population=PopulationConfig(scale=scale)
+    )
+
+
+class TestConfigHash:
+    def test_stable_for_equal_configs(self):
+        assert config_hash(_config()) == config_hash(_config())
+
+    def test_differs_when_experiment_differs(self):
+        assert config_hash(_config(seed=1)) != config_hash(_config(seed=2))
+        assert config_hash(_config(scale=0.01)) != config_hash(
+            _config(scale=0.02)
+        )
+
+
+class TestSidecarPath:
+    def test_replaces_extension(self):
+        assert sidecar_path("out/ds.json", "manifest") == \
+            "out/ds.manifest.json"
+        assert sidecar_path("ds.json", "traces") == "ds.traces.json"
+
+    def test_without_extension(self):
+        assert sidecar_path("dataset", "manifest") == "dataset.manifest.json"
+
+
+class TestBuildManifest:
+    def test_records_provenance(self):
+        config = _config()
+        manifest = build_manifest(
+            config, workers=4, num_shards=8, command="campaign --scale 0.01"
+        )
+        assert manifest["repro_version"] == __version__
+        assert manifest["seed"] == config.seed
+        assert manifest["config_hash"] == config_hash(config)
+        assert manifest["scale"] == 0.01
+        assert manifest["shard_layout"] == {"num_shards": 8, "workers": 4}
+        assert manifest["fault_plan"] is None
+        assert manifest["metrics"] is None
+        assert manifest["command"] == "campaign --scale 0.01"
+
+    def test_includes_dataset_counts(self):
+        from repro.dataset.store import Dataset
+
+        manifest = build_manifest(
+            _config(), dataset=Dataset(), dataset_path="ds.json"
+        )
+        assert manifest["dataset"] == {
+            "path": "ds.json",
+            "clients": 0,
+            "doh_samples": 0,
+            "do53_samples": 0,
+            "countries": 0,
+        }
+
+    def test_write_manifest_emits_sorted_json(self, tmp_path):
+        path = str(tmp_path / "ds.manifest.json")
+        manifest = build_manifest(_config())
+        assert write_manifest(path, manifest) == path
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["config_hash"] == manifest["config_hash"]

@@ -52,6 +52,48 @@ class TestCodec:
             assert decoded[key] == pytest.approx(values[key], abs=0.005)
 
 
+class TestValueValidation:
+    """Both codec directions reject values Equations 6–8 cannot absorb.
+
+    Regression: ``decode_timeline("dns:nan")`` used to return
+    ``{"dns": nan}`` and ``encode_timeline({"dns": float("nan")})``
+    happily emitted ``dns:nan`` — the NaN then propagated through every
+    derived t_DoH.
+    """
+
+    @pytest.mark.parametrize("text", [
+        "dns:nan", "dns:NaN", "dns:inf", "dns:-inf", "connect:Infinity",
+    ])
+    def test_decode_rejects_non_finite(self, text):
+        with pytest.raises(ValueError):
+            decode_timeline(text)
+
+    @pytest.mark.parametrize("text", ["dns:-1", "dns:-0.01;connect:2"])
+    def test_decode_rejects_negative(self, text):
+        with pytest.raises(ValueError):
+            decode_timeline(text)
+
+    @pytest.mark.parametrize("value", [
+        float("nan"), float("inf"), float("-inf"), -1.0, -0.01,
+    ])
+    def test_encode_rejects_invalid_values(self, value):
+        with pytest.raises(ValueError):
+            encode_timeline({"dns": value})
+
+    def test_zero_is_a_legal_duration(self):
+        assert decode_timeline(encode_timeline({"dns": 0.0})) == {"dns": 0.0}
+        assert decode_timeline("dns:-0.0") == {"dns": 0.0}
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)
+    )
+    def test_valid_durations_round_trip(self, value):
+        decoded = decode_timeline(encode_timeline({"dns": value}))
+        assert decoded["dns"] == pytest.approx(value, abs=0.005)
+        assert decoded["dns"] >= 0.0
+
+
 class TestTimelineHeaders:
     def test_quantities(self):
         headers = TimelineHeaders(

@@ -32,6 +32,13 @@ class TestBasics:
         assert stddev([2.0, 2.0, 2.0]) == 0.0
         assert stddev([0.0, 4.0]) == 2.0
 
+    def test_stddev_empty_raises_its_own_message(self):
+        # Regression: the empty check used to live only in mean(), so
+        # stddev([]) raised "mean of empty sequence" — misleading when
+        # the caller never called mean.
+        with pytest.raises(ValueError, match="stddev of empty sequence"):
+            stddev([])
+
     def test_percentile_bounds(self):
         values = [float(v) for v in range(11)]
         assert percentile(values, 0) == 0.0
@@ -70,6 +77,56 @@ class TestCdf:
         assert xs == sorted(xs)
         assert ys == sorted(ys)
         assert all(0.0 < y <= 1.0 for y in ys)
+
+
+class TestCdfSubsampleRegression:
+    """Floor-based quantile indexing (the old banker's-rounding code
+    duplicated interior points and could drop the minimum)."""
+
+    def test_minimum_and_maximum_always_covered(self):
+        values = [float(v) for v in range(1000)]
+        curve = empirical_cdf(values, points=10)
+        assert curve[0][0] == min(values)
+        assert curve[-1][0] == max(values)
+        assert curve[-1][1] == 1.0
+
+    def test_minimum_covered_where_rounding_used_to_skip_it(self):
+        # With n=1000, points=200 the old code's first index was
+        # round(1/200*1000)-1 = 4, omitting ordered[0] entirely.
+        values = [float(v) for v in range(1000)]
+        curve = empirical_cdf(values, points=200)
+        assert curve[0][0] == 0.0
+
+    def test_indices_strictly_increasing_no_duplicates(self):
+        # round-to-even used to emit duplicate points (e.g. n=17,
+        # points=7); floor-based linspace indices are strictly
+        # increasing whenever n > points.
+        for n, points in ((17, 7), (1000, 200), (101, 100), (53, 13)):
+            values = [float(v) for v in range(n)]
+            curve = empirical_cdf(values, points=points)
+            assert len(curve) == points
+            xs = [x for x, _ in curve]
+            assert len(set(xs)) == points, (n, points)
+
+    def test_subsample_is_subset_of_full_cdf(self):
+        values = [float(v * v % 977) for v in range(500)]
+        full = set(empirical_cdf(values, points=len(values)))
+        sub = empirical_cdf(values, points=40)
+        assert set(sub) <= full
+
+    def test_degenerate_points_arguments(self):
+        values = [3.0, 1.0, 2.0]
+        assert empirical_cdf(values, points=0) == []
+        assert empirical_cdf(values, points=-5) == []
+        assert empirical_cdf([float(v) for v in range(10)], points=1) == \
+            [(9.0, 1.0)]
+
+    @given(samples, st.integers(min_value=2, max_value=50))
+    def test_endpoints_property(self, values, points):
+        curve = empirical_cdf(values, points=points)
+        assert curve[0][0] == min(values)
+        assert curve[-1][0] == max(values)
+        assert curve[-1][1] == 1.0
 
 
 class TestProperties:

@@ -109,6 +109,76 @@ class TestCli:
         assert "Failure rates by provider" in out
         assert "Failure reasons" in out
 
+    def test_observed_campaign_writes_sidecars(self, tmp_path, capsys):
+        out_path = str(tmp_path / "obs.json")
+        code = main([
+            "campaign", "--scale", "0.01", "--seed", "5",
+            "--observe", "--atlas-probes", "1", "--out", out_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "observability:" in out
+        manifest_path = str(tmp_path / "obs.manifest.json")
+        traces_path = str(tmp_path / "obs.traces.json")
+        assert os.path.exists(manifest_path)
+        assert os.path.exists(traces_path)
+
+        import json
+
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        assert manifest["seed"] == 5
+        assert manifest["metrics"]["counters"]["campaign.raw_doh"] > 0
+        assert manifest["phases"]  # per-provider phase aggregates
+        assert manifest["dataset"]["path"] == out_path
+
+        # analyze --artifact phases finds the sidecar by convention.
+        assert main(["analyze", out_path, "--artifact", "phases"]) == 0
+        out = capsys.readouterr().out
+        assert "phase reconciliation OK" in out
+        assert "query_roundtrip" in out
+
+        # trace: listing, then one node's timeline.
+        assert main(["trace", traces_path]) == 0
+        listing = capsys.readouterr().out
+        assert "use --node to inspect one" in listing
+        node_id = listing.splitlines()[1].split()[0]
+        assert main(["trace", traces_path, "--node", node_id]) == 0
+        out = capsys.readouterr().out
+        assert "tunnel_setup" in out
+        assert "exit_dns" in out
+
+    def test_trace_with_no_match_fails(self, tmp_path, capsys):
+        from repro.obs.trace import TraceRecorder
+
+        traces_path = str(tmp_path / "t.json")
+        TraceRecorder().save(traces_path)
+        assert main(["trace", traces_path, "--node", "NOPE-1"]) == 1
+
+    def test_analyze_phases_without_sidecar_fails(self, tmp_path, capsys,
+                                                  dataset):
+        path = str(tmp_path / "plain.json")
+        dataset.save(path)
+        assert main(["analyze", path, "--artifact", "phases"]) == 1
+        out = capsys.readouterr().out
+        assert "--observe" in out
+
+    def test_unobserved_campaign_manifest_has_no_metrics(self, tmp_path,
+                                                         capsys):
+        out_path = str(tmp_path / "plain.json")
+        code = main([
+            "campaign", "--scale", "0.004", "--seed", "3",
+            "--atlas-probes", "0", "--out", out_path,
+        ])
+        assert code == 0
+        import json
+
+        with open(str(tmp_path / "plain.manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["metrics"] is None
+        assert manifest["phases"] is None
+        assert not os.path.exists(str(tmp_path / "plain.traces.json"))
+
     def test_bad_fault_preset_rejected(self):
         with pytest.raises(ValueError):
             main([

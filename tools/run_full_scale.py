@@ -25,9 +25,17 @@ from repro.analysis.providers import provider_summaries
 from repro.analysis.report import render_table3, render_table4
 from repro.analysis.slowdown import headline_stats
 from repro.analysis.tables import table3_dataset_composition, table4_logistic
+from repro.analysis.phases import (
+    phase_breakdown,
+    phase_summary,
+    reconcile_with_dataset,
+    render_phase_table,
+)
 from repro.core.campaign import Campaign
 from repro.core.config import ReproConfig
 from repro.core.world import build_world
+from repro.obs import Observability
+from repro.obs.manifest import build_manifest, sidecar_path, write_manifest
 from repro.parallel import run_parallel_campaign
 from repro.proxy.population import PopulationConfig
 
@@ -39,6 +47,10 @@ def _parse_args() -> argparse.Namespace:
                         help="worker processes (1 = legacy serial run)")
     parser.add_argument("--shards", type=int, default=None,
                         help="fleet shard count (default 8 when sharded)")
+    parser.add_argument("--observe", action="store_true",
+                        help="record phase traces and metrics; writes "
+                             "dataset.traces.json and a phase breakdown "
+                             "(see docs/observability.md)")
     return parser.parse_args()
 
 
@@ -72,6 +84,7 @@ def main() -> None:
             atlas_probes_per_country=25,
             atlas_repetitions=5,
             progress=shard_progress,
+            observe=args.observe,
         )
     else:
         world = build_world(config)
@@ -89,8 +102,10 @@ def main() -> None:
                 print("  measured {}/{} nodes ({:.0f}s)".format(
                     done, total, time.time() - campaign_started), flush=True)
 
+        obs = Observability() if args.observe else None
         result = Campaign(world, atlas_probes_per_country=25,
-                          atlas_repetitions=5).run(progress=progress)
+                          atlas_repetitions=5, obs=obs).run(
+                              progress=progress)
     dataset = result.dataset
     emit("campaign in {:.0f}s".format(time.time() - campaign_started))
     emit(dataset.summary())
@@ -135,7 +150,31 @@ def main() -> None:
     rows, _models = table4_logistic(dataset)
     emit(render_table4(rows))
 
-    dataset.save(os.path.join(out_dir, "dataset.json"))
+    phases = None
+    if result.traces is not None:
+        phases = phase_summary(result.traces)
+        emit("phase breakdown ({} traces):".format(len(result.traces)))
+        emit("\n".join(render_phase_table(phase_breakdown(result.traces))))
+        report = reconcile_with_dataset(result.traces, dataset)
+        emit(report.describe())
+        emit()
+
+    dataset_path = os.path.join(out_dir, "dataset.json")
+    dataset.save(dataset_path)
+    manifest = build_manifest(
+        config,
+        dataset=dataset,
+        dataset_path=dataset_path,
+        workers=args.workers,
+        num_shards=args.shards,
+        metrics=result.metrics,
+        phases=phases,
+        command="tools/run_full_scale.py --seed {} --workers {}".format(
+            args.seed, args.workers),
+    )
+    write_manifest(sidecar_path(dataset_path, "manifest"), manifest)
+    if result.traces is not None:
+        result.traces.save(sidecar_path(dataset_path, "traces"))
     with open(os.path.join(out_dir, "summary.txt"), "w") as handle:
         handle.write("\n".join(lines) + "\n")
     emit()
