@@ -6,14 +6,29 @@ measurements per wall-clock second.  Guards against performance
 regressions that would make full-scale (22k-client) runs impractical.
 """
 
+import json
+import os
+import pathlib
 import random
+import time
 
+from repro.core.campaign import Campaign
 from repro.core.client import MeasurementClient
 from repro.core.config import ReproConfig
 from repro.core.world import build_world
 from repro.doh.provider import PROVIDER_CONFIGS
 from repro.geo.coords import geodesic_cache_info
 from repro.proxy.population import PopulationConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SERIAL_OUT_PATH = REPO_ROOT / "BENCH_serial_hotpath.json"
+
+#: Serial campaign throughput (measurements/s) of the tree *before*
+#: the serial hot-path overhaul, measured on the development machine:
+#: median of 5 interleaved runs at scale 0.01, seed 20210402, campaign
+#: time only (world build excluded).  Override with
+#: ``REPRO_PERF_BASELINE`` when benchmarking on different hardware.
+PRE_OVERHAUL_BASELINE_MEAS_PER_SEC = 667.8
 
 
 def test_measurement_throughput(benchmark):
@@ -46,6 +61,57 @@ def test_measurement_throughput(benchmark):
         return raw
 
     benchmark.pedantic(one_measurement, rounds=40, iterations=1)
+
+
+def test_serial_campaign_throughput():
+    """End-to-end serial campaign throughput, with a regression gate.
+
+    Runs the whole serial measurement campaign (the exact code path
+    full-scale runs use) and records measurements per wall-clock
+    second — campaign execution only, world build excluded — in
+    ``BENCH_serial_hotpath.json`` next to the before/after numbers of
+    the hot-path overhaul.
+
+    The gate: throughput must not drop more than 25% below the
+    baseline.  The baseline defaults to the recorded pre-overhaul
+    number; set ``REPRO_PERF_BASELINE`` (meas/s) when the machine
+    differs from the one the constant was measured on, or to pin a
+    new baseline after an intentional change.
+    """
+    scale = float(os.environ.get("REPRO_SERIAL_BENCH_SCALE", "0.01"))
+    config = ReproConfig(
+        seed=20210402, population=PopulationConfig(scale=scale)
+    )
+    world = build_world(config)
+    campaign = Campaign(world, atlas_probes_per_country=0)
+
+    started = time.perf_counter()
+    result = campaign.run()
+    elapsed = time.perf_counter() - started
+    measurements = len(result.raw_doh) + len(result.raw_do53)
+    meas_per_sec = measurements / elapsed if elapsed else float("inf")
+
+    baseline = float(
+        os.environ.get(
+            "REPRO_PERF_BASELINE", PRE_OVERHAUL_BASELINE_MEAS_PER_SEC
+        )
+    )
+    report = {
+        "scale": scale,
+        "seed": 20210402,
+        "measurements": measurements,
+        "campaign_seconds": round(elapsed, 3),
+        "meas_per_sec": round(meas_per_sec, 1),
+        "baseline_meas_per_sec": round(baseline, 1),
+        "speedup_vs_baseline": round(meas_per_sec / baseline, 3),
+    }
+    SERIAL_OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print("\n" + json.dumps(report, indent=2))
+
+    assert meas_per_sec >= 0.75 * baseline, (
+        "serial throughput regressed more than 25% below baseline: "
+        "{}".format(report)
+    )
 
 
 def test_hot_path_caches_are_hit():

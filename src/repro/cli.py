@@ -64,7 +64,8 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="RIPE Atlas probes per super-proxy country")
     campaign.add_argument("--workers", type=int, default=1,
                           help="worker processes for the sharded executor "
-                               "(1 = serial; see docs/performance.md)")
+                               "(1 = serial, 0 = auto-size to available "
+                               "CPUs; see docs/performance.md)")
     campaign.add_argument("--shards", type=int, default=None,
                           help="fleet shard count (part of the experiment "
                                "definition; default 8 when sharded)")
@@ -137,13 +138,15 @@ def _cmd_campaign(args) -> int:
     started = time.time()
     if args.workers != 1 or args.shards is not None:
         from repro.parallel import run_parallel_campaign
+        from repro.parallel.executor import default_worker_count
 
+        workers = args.workers if args.workers > 0 else default_worker_count()
         print("running sharded campaign (scale={}, seed={}, workers={}, "
-              "shards={})...".format(args.scale, args.seed, args.workers,
+              "shards={})...".format(args.scale, args.seed, workers,
                                      args.shards or "default"))
         result = run_parallel_campaign(
             config,
-            workers=args.workers,
+            workers=workers,
             num_shards=args.shards,
             atlas_probes_per_country=args.atlas_probes,
             shard_timeout_s=args.shard_timeout,

@@ -146,12 +146,19 @@ def _nearest_selector(hosts: Sequence[Host]):
 def build_world(
     config: ReproConfig,
     provider_configs: "Optional[Dict[str, ProviderConfig]]" = None,
+    plan=None,
 ) -> World:
     """Build the entire simulated world for *config*.
 
     *provider_configs* overrides individual provider definitions by
     name (ablation studies patch anycast policies or backbone quality
     without touching the global tables).
+
+    *plan* is an optional :class:`repro.core.plan.WorldPlan` — the
+    precomputed deterministic slice of the build (population fit,
+    resolver qualities, remote-resolver hubs).  Worlds built with and
+    without a plan are identical; shard workers use one to skip
+    recomputing it per process.
     """
     sim = Simulator()
     rng = random.Random(config.seed)
@@ -340,6 +347,7 @@ def build_world(
         config=config.population,
         warm_records=warm_records,
         provider_records=provider_a_records,
+        plan=plan,
     )
     if fault_injector is not None:
         for node in population.nodes:

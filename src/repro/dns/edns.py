@@ -19,10 +19,10 @@ the RDATA.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.dns.message import Message
+from repro.dns.message import Header, Message
 from repro.dns.name import DomainName
 from repro.dns.records import OPTRecord, RRType, ResourceRecord
 
@@ -89,27 +89,51 @@ class EdnsInfo:
     client_subnet: Optional[ClientSubnet] = None
 
 
+#: Memo of OPT pseudo-records per (payload size, subnet).  Frozen
+#: ResourceRecords are shareable, a stub attaches the identical OPT to
+#: every query it sends, and the per-query path otherwise pays a
+#: DomainName validation plus two dataclass constructions.
+_OPT_CACHE: dict = {}
+_OPT_CACHE_MAX = 1 << 16
+
+
 def attach_edns(
     message: Message,
     udp_payload_size: int = DEFAULT_UDP_PAYLOAD,
     client_subnet: Optional[ClientSubnet] = None,
 ) -> Message:
     """Return *message* with an OPT pseudo-record appended."""
-    payload = client_subnet.encode() if client_subnet else b""
-    opt = ResourceRecord(
-        name=DomainName("."),
-        rtype=RRType.OPT,
-        rclass=udp_payload_size,
-        ttl=0,
-        rdata=OPTRecord(payload=payload),
-    )
-    additional = tuple(
-        record for record in message.additional
-        if record.rtype != RRType.OPT
-    ) + (opt,)
-    header = replace(message.header, arcount=len(additional))
+    key = (udp_payload_size, client_subnet)
+    opt = _OPT_CACHE.get(key)
+    if opt is None:
+        payload = client_subnet.encode() if client_subnet else b""
+        opt = ResourceRecord(
+            name=DomainName("."),
+            rtype=RRType.OPT,
+            rclass=udp_payload_size,
+            ttl=0,
+            rdata=OPTRecord(payload=payload),
+        )
+        if len(_OPT_CACHE) >= _OPT_CACHE_MAX:
+            _OPT_CACHE.clear()
+        _OPT_CACHE[key] = opt
+    existing = message.additional
+    if existing:
+        additional = tuple(
+            record for record in existing if record.rtype != RRType.OPT
+        ) + (opt,)
+    else:
+        additional = (opt,)
+    header = message.header
     return Message(
-        header=header,
+        header=Header(
+            header.id,
+            header.flags,
+            header.qdcount,
+            header.ancount,
+            header.nscount,
+            len(additional),
+        ),
         questions=message.questions,
         answers=message.answers,
         authority=message.authority,

@@ -8,11 +8,11 @@ latency model charges for DNS traffic are the actual protocol sizes.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.dns.name import DomainName
-from repro.dns.records import ResourceRecord, decode_rdata
+from repro.dns.records import OPTRecord, ResourceRecord, decode_rdata
 
 __all__ = [
     "Flags",
@@ -26,9 +26,110 @@ __all__ = [
 
 _MAX_POINTER_HOPS = 64
 
+#: Wire → Message memo, populated on *encode*.  Every byte string the
+#: simulated fabric carries was produced by this process's encoder, so
+#: a decoder seeing those exact bytes can return the original frozen
+#: message instead of re-parsing.  Keyed by value: any mutation of the
+#: bytes in flight (fault-injected corruption, truncating slices)
+#: changes the key, misses, and takes the real decode path with its
+#: full error handling.  Bounded by wholesale clearing, like an
+#: RFC 1035 resolver dropping its cache under pressure.
+_WIRE_MEMO: Dict[bytes, "Message"] = {}
+_WIRE_MEMO_MAX = 1 << 16
+
+# Prebound struct codecs — the hot path encodes/decodes tens of
+# thousands of messages per campaign, so the format strings are
+# compiled once at import instead of parsed per call.
+_pack_header = struct.Struct("!HHHHHH").pack
+_unpack_header = struct.Struct("!HHHHHH").unpack_from
+_pack_question = struct.Struct("!HH").pack
+_unpack_question = struct.Struct("!HH").unpack_from
+_pack_rr_head = struct.Struct("!HHI").pack
+_unpack_rr_head = struct.Struct("!HHIH").unpack_from
+_pack_pointer = struct.Struct("!H").pack
+_pack_rdlength_into = struct.Struct("!H").pack_into
+
 
 class WireError(ValueError):
     """Malformed DNS wire data."""
+
+
+def _encode_name(
+    labels: Tuple[str, ...], base: int, offsets: Dict[Tuple[str, ...], int]
+) -> bytes:
+    """Encode *labels* starting at wire position *base* with compression."""
+    chunk = bytearray()
+    for index in range(len(labels)):
+        suffix = labels[index:]
+        pointer = offsets.get(suffix)
+        if pointer is not None:
+            chunk += _pack_pointer(0xC000 | pointer)
+            return bytes(chunk)
+        position = base + len(chunk)
+        if position < 0x4000:
+            offsets[suffix] = position
+        raw = labels[index].encode()
+        chunk.append(len(raw))
+        chunk += raw
+    chunk.append(0)
+    return bytes(chunk)
+
+
+def _decode_name(data: bytes, offset: int) -> Tuple[DomainName, int]:
+    """Decode a (possibly compressed) name; returns (name, end offset)."""
+    labels: List[str] = []
+    hops = 0
+    end = None
+    size = len(data)
+    while True:
+        if offset >= size:
+            raise WireError("truncated name")
+        length = data[offset]
+        if length & 0xC0 == 0xC0:
+            if offset + 1 >= size:
+                raise WireError("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[offset + 1]
+            if end is None:
+                end = offset + 2
+            if pointer >= offset:
+                raise WireError("forward compression pointer")
+            offset = pointer
+            hops += 1
+            if hops > _MAX_POINTER_HOPS:
+                raise WireError("compression pointer loop")
+            continue
+        if length & 0xC0:
+            raise WireError("reserved label type")
+        offset += 1
+        if length == 0:
+            break
+        if offset + length > size:
+            raise WireError("truncated label")
+        labels.append(data[offset:offset + length].decode(errors="replace"))
+        offset += length
+    if end is None:
+        end = offset
+    return DomainName._from_label_list(labels), end
+
+
+def _decode_records(
+    wire: bytes, count: int, pos: int
+) -> Tuple[Tuple[ResourceRecord, ...], int]:
+    """Decode *count* resource records starting at *pos*."""
+    records: List[ResourceRecord] = []
+    size = len(wire)
+    for _ in range(count):
+        name, pos = _decode_name(wire, pos)
+        if pos + 10 > size:
+            raise WireError("truncated record header")
+        rtype, rclass, ttl, rdlength = _unpack_rr_head(wire, pos)
+        pos += 10
+        if pos + rdlength > size:
+            raise WireError("truncated rdata")
+        rdata = decode_rdata(rtype, wire, pos, rdlength, _decode_name)
+        pos += rdlength
+        records.append(ResourceRecord(name, rtype, rclass, ttl, rdata))
+    return tuple(records), pos
 
 
 class Opcode:
@@ -104,8 +205,7 @@ class Header:
 
     def encode(self) -> bytes:
         """Pack the header into its 12 wire bytes."""
-        return struct.pack(
-            "!HHHHHH",
+        return _pack_header(
             self.id & 0xFFFF,
             self.flags.encode(),
             self.qdcount,
@@ -118,7 +218,7 @@ class Header:
     def decode(cls, wire: bytes) -> "Header":
         if len(wire) < 12:
             raise WireError("message shorter than header")
-        ident, flags, qd, an, ns, ar = struct.unpack_from("!HHHHHH", wire, 0)
+        ident, flags, qd, an, ns, ar = _unpack_header(wire, 0)
         return cls(ident, Flags.decode(flags), qd, an, ns, ar)
 
 
@@ -140,6 +240,12 @@ class Message:
     answers: Tuple[ResourceRecord, ...] = ()
     authority: Tuple[ResourceRecord, ...] = ()
     additional: Tuple[ResourceRecord, ...] = ()
+    #: Encoded-bytes cache.  Safe because the message is frozen: any
+    #: "mutation" goes through dataclasses.replace(), which builds a new
+    #: instance and resets init=False fields to their defaults.
+    _wire: Optional[bytes] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- constructors ---------------------------------------------------
 
@@ -163,8 +269,15 @@ class Message:
         ra: bool = False,
     ) -> "Message":
         """Build a response to this query, echoing id and question."""
-        flags = replace(
-            self.header.flags, qr=True, aa=aa, ra=ra, rcode=rcode
+        query_flags = self.header.flags
+        flags = Flags(
+            qr=True,
+            opcode=query_flags.opcode,
+            aa=aa,
+            tc=query_flags.tc,
+            rd=query_flags.rd,
+            ra=ra,
+            rcode=rcode,
         )
         return Message(
             header=Header(
@@ -194,124 +307,140 @@ class Message:
     # -- wire encoding -----------------------------------------------------
 
     def to_wire(self) -> bytes:
-        """Serialise to RFC 1035 bytes with name compression."""
+        """Serialise to RFC 1035 bytes with name compression.
+
+        The result is cached on the (frozen) message, so repeated
+        serialisation — size accounting, retransmission, relaying the
+        same response to several askers — encodes once.
+        """
+        wire = self._wire
+        if wire is not None:
+            return wire
+        header = self.header
+        questions = self.questions
+        additional = self.additional
+        # Query-shaped fast path: one question plus at most a root-named
+        # OPT.  Nothing can compress (the only later name is the root),
+        # so the offsets bookkeeping and the rdata closure are skipped.
+        # The emitted bytes are identical to the general path's.
+        if (
+            not self.answers
+            and not self.authority
+            and len(questions) == 1
+            and (
+                not additional
+                or (
+                    len(additional) == 1
+                    and not additional[0].name.labels
+                    and type(additional[0].rdata) is OPTRecord
+                )
+            )
+        ):
+            question = questions[0]
+            out = bytearray(
+                _pack_header(
+                    header.id & 0xFFFF,
+                    header.flags.encode(),
+                    1,
+                    0,
+                    0,
+                    len(additional),
+                )
+            )
+            for label in question.name.labels:
+                raw = label.encode()
+                out.append(len(raw))
+                out += raw
+            out.append(0)
+            out += _pack_question(question.qtype, question.qclass)
+            if additional:
+                record = additional[0]
+                payload = record.rdata.payload
+                out.append(0)  # root owner name
+                out += _pack_rr_head(record.rtype, record.rclass, record.ttl)
+                out += _pack_pointer(len(payload))  # rdlength (!H)
+                out += payload
+            wire = bytes(out)
+            object.__setattr__(self, "_wire", wire)
+            # Memoize only when the header counts are honest: to_wire
+            # recomputes lying counts, so decoding such bytes must
+            # yield the normalized message, not this one.
+            if (
+                header.qdcount == 1
+                and header.ancount == 0
+                and header.nscount == 0
+                and header.arcount == len(additional)
+            ):
+                if len(_WIRE_MEMO) >= _WIRE_MEMO_MAX:
+                    _WIRE_MEMO.clear()
+                _WIRE_MEMO[wire] = self
+            return wire
         out = bytearray()
         offsets: Dict[Tuple[str, ...], int] = {}
-
-        def encode_name(name: DomainName, base: int) -> bytes:
-            chunk = bytearray()
-            labels = name.labels
-            for index in range(len(labels)):
-                suffix = labels[index:]
-                pointer = offsets.get(suffix)
-                if pointer is not None and pointer < 0x4000:
-                    chunk += struct.pack("!H", 0xC000 | pointer)
-                    return bytes(chunk)
-                position = base + len(chunk)
-                if position < 0x4000:
-                    offsets[suffix] = position
-                raw = labels[index].encode()
-                chunk.append(len(raw))
-                chunk += raw
-            chunk.append(0)
-            return bytes(chunk)
-
-        header = replace(
-            self.header,
-            qdcount=len(self.questions),
-            ancount=len(self.answers),
-            nscount=len(self.authority),
-            arcount=len(self.additional),
+        out += _pack_header(
+            header.id & 0xFFFF,
+            header.flags.encode(),
+            len(questions),
+            len(self.answers),
+            len(self.authority),
+            len(self.additional),
         )
-        out += header.encode()
-        for question in self.questions:
-            out += encode_name(question.name, len(out))
-            out += struct.pack("!HH", question.qtype, question.qclass)
-        for record in self.answers + self.authority + self.additional:
-            out += encode_name(record.name, len(out))
-            out += struct.pack("!HHI", record.rtype, record.rclass, record.ttl)
-            length_at = len(out)
-            out += b"\x00\x00"  # rdlength placeholder
-            rdata_start = length_at + 2
-            consumed = [0]
+        for question in questions:
+            out += _encode_name(question.name.labels, len(out), offsets)
+            out += _pack_question(question.qtype, question.qclass)
+        records = self.answers + self.authority + self.additional
+        if records:
+            rdata_pos = [0]
 
             def encode_rdata_name(name: DomainName) -> bytes:
-                chunk = encode_name(name, rdata_start + consumed[0])
-                consumed[0] += len(chunk)
+                chunk = _encode_name(name.labels, rdata_pos[0], offsets)
+                rdata_pos[0] += len(chunk)
                 return chunk
 
-            rdata = record.rdata.encode(encode_rdata_name)
-            out += rdata
-            struct.pack_into("!H", out, length_at, len(rdata))
-        return bytes(out)
+            for record in records:
+                out += _encode_name(record.name.labels, len(out), offsets)
+                out += _pack_rr_head(record.rtype, record.rclass, record.ttl)
+                length_at = len(out)
+                out += b"\x00\x00"  # rdlength placeholder
+                rdata_pos[0] = length_at + 2
+                rdata = record.rdata.encode(encode_rdata_name)
+                out += rdata
+                _pack_rdlength_into(out, length_at, len(rdata))
+        wire = bytes(out)
+        object.__setattr__(self, "_wire", wire)
+        # See the fast path above: memoize only honest header counts.
+        if (
+            header.qdcount == len(questions)
+            and header.ancount == len(self.answers)
+            and header.nscount == len(self.authority)
+            and header.arcount == len(self.additional)
+        ):
+            if len(_WIRE_MEMO) >= _WIRE_MEMO_MAX:
+                _WIRE_MEMO.clear()
+            _WIRE_MEMO[wire] = self
+        return wire
 
     @classmethod
     def from_wire(cls, wire: bytes) -> "Message":
         """Parse RFC 1035 bytes, following compression pointers."""
+        if cls is Message:
+            cached = _WIRE_MEMO.get(wire)
+            if cached is not None:
+                return cached
         header = Header.decode(wire)
         pos = 12
-
-        def decode_name(data: bytes, offset: int) -> Tuple[DomainName, int]:
-            labels: List[str] = []
-            hops = 0
-            end = None
-            while True:
-                if offset >= len(data):
-                    raise WireError("truncated name")
-                length = data[offset]
-                if length & 0xC0 == 0xC0:
-                    if offset + 1 >= len(data):
-                        raise WireError("truncated compression pointer")
-                    pointer = struct.unpack_from("!H", data, offset)[0] & 0x3FFF
-                    if end is None:
-                        end = offset + 2
-                    if pointer >= offset:
-                        raise WireError("forward compression pointer")
-                    offset = pointer
-                    hops += 1
-                    if hops > _MAX_POINTER_HOPS:
-                        raise WireError("compression pointer loop")
-                    continue
-                if length & 0xC0:
-                    raise WireError("reserved label type")
-                offset += 1
-                if length == 0:
-                    break
-                if offset + length > len(data):
-                    raise WireError("truncated label")
-                labels.append(data[offset:offset + length].decode(errors="replace"))
-                offset += length
-            if end is None:
-                end = offset
-            return DomainName(labels), end
-
+        size = len(wire)
         questions: List[Question] = []
         for _ in range(header.qdcount):
-            name, pos = decode_name(wire, pos)
-            if pos + 4 > len(wire):
+            name, pos = _decode_name(wire, pos)
+            if pos + 4 > size:
                 raise WireError("truncated question")
-            qtype, qclass = struct.unpack_from("!HH", wire, pos)
+            qtype, qclass = _unpack_question(wire, pos)
             pos += 4
             questions.append(Question(name, qtype, qclass))
-
-        def decode_records(count: int, pos: int):
-            records: List[ResourceRecord] = []
-            for _ in range(count):
-                name, pos = decode_name(wire, pos)
-                if pos + 10 > len(wire):
-                    raise WireError("truncated record header")
-                rtype, rclass, ttl, rdlength = struct.unpack_from("!HHIH", wire, pos)
-                pos += 10
-                if pos + rdlength > len(wire):
-                    raise WireError("truncated rdata")
-                rdata = decode_rdata(rtype, wire, pos, rdlength, decode_name)
-                pos += rdlength
-                records.append(ResourceRecord(name, rtype, rclass, ttl, rdata))
-            return tuple(records), pos
-
-        answers, pos = decode_records(header.ancount, pos)
-        authority, pos = decode_records(header.nscount, pos)
-        additional, pos = decode_records(header.arcount, pos)
+        answers, pos = _decode_records(wire, header.ancount, pos)
+        authority, pos = _decode_records(wire, header.nscount, pos)
+        additional, pos = _decode_records(wire, header.arcount, pos)
         return cls(header, tuple(questions), answers, authority, additional)
 
     def wire_size(self) -> int:

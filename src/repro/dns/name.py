@@ -63,14 +63,26 @@ class DomainName:
     def _validate(labels: Tuple[str, ...]) -> None:
         total = 1  # trailing root length byte
         for label in labels:
-            raw = label.encode("idna") if not label.isascii() else label.encode()
-            if not raw:
+            if label.isascii():
+                length = len(label)  # ASCII encodes one octet per char
+            else:
+                length = len(label.encode("idna"))
+            if not length:
                 raise NameError_("empty label")
-            if len(raw) > MAX_LABEL_LENGTH:
+            if length > MAX_LABEL_LENGTH:
                 raise NameError_("label too long: {!r}".format(label))
-            total += len(raw) + 1
+            total += length + 1
         if total > MAX_NAME_LENGTH:
             raise NameError_("name too long ({} octets)".format(total))
+
+    @classmethod
+    def _from_label_list(cls, labels: Iterable[str]) -> "DomainName":
+        """Fast constructor for the wire decoder (labels already str)."""
+        lowered = tuple(map(str.lower, labels))
+        cls._validate(lowered)
+        self = object.__new__(cls)
+        object.__setattr__(self, "labels", lowered)
+        return self
 
     # -- structure ------------------------------------------------------
 

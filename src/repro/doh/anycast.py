@@ -123,7 +123,7 @@ class AnycastPolicy:
         """
         if not pop_locations:
             raise ValueError("provider has no PoPs")
-        ranked = self._rank_by_distance(client_location, pop_locations)
+        ranked = self.rank_by_distance(client_location, pop_locations)
         nearest_index, nearest_distance = ranked[0]
 
         roll = self._hash01("route", identity)
@@ -161,12 +161,18 @@ class AnycastPolicy:
         return size
 
     @staticmethod
-    def _rank_by_distance(
+    def rank_by_distance(
         client: LatLon, pops: Sequence[LatLon]
     ) -> List[Tuple[int, float]]:
+        # Sorting (distance, index) pairs natively avoids a key-lambda
+        # call per element; ties break on index exactly as before.
+        # Ranking goes through the memoized geodesic_km deliberately:
+        # it seeds the cache with every (client, pop) pair, which the
+        # latency model's propagation lookups then hit for the pop the
+        # client was actually routed to.
         distances = [
-            (index, geodesic_km(client, location))
+            (geodesic_km(client, location), index)
             for index, location in enumerate(pops)
         ]
-        distances.sort(key=lambda item: (item[1], item[0]))
-        return distances
+        distances.sort()
+        return [(index, distance) for distance, index in distances]

@@ -20,6 +20,7 @@ __all__ = [
     "geodesic_cache_info",
     "geodesic_km",
     "geodesic_miles",
+    "haversine_km",
 ]
 
 EARTH_RADIUS_KM = 6371.0088
@@ -38,6 +39,12 @@ class LatLon:
             raise ValueError("latitude out of range: {}".format(self.lat))
         if not -180.0 <= self.lon <= 180.0:
             raise ValueError("longitude out of range: {}".format(self.lon))
+        # Hashing dominates the memoized-distance lookups (every probe
+        # hashes two coordinates), so compute the dataclass hash once.
+        object.__setattr__(self, "_hash", hash((self.lat, self.lon)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def distance_km(self, other: "LatLon") -> float:
         """Great-circle distance to *other* in kilometres."""
@@ -56,12 +63,13 @@ class LatLon:
 _GEODESIC_CACHE_SIZE = 1 << 17
 
 
-@lru_cache(maxsize=_GEODESIC_CACHE_SIZE)
-def geodesic_km(a: LatLon, b: LatLon) -> float:
-    """Haversine great-circle distance between *a* and *b* in km.
+def haversine_km(a: LatLon, b: LatLon) -> float:
+    """Uncached haversine distance between *a* and *b* in km.
 
-    Memoized on the (hashable, frozen) coordinate pair: the trig is
-    ~10 libm calls and sits on the per-message latency hot path.
+    Use this directly for bulk sweeps over pairs that are known to be
+    unique (e.g. ranking a provider's whole PoP list against one
+    client) — going through :func:`geodesic_km` there would pay the
+    memo's hashing without ever hitting.
     """
     lat1 = math.radians(a.lat)
     lat2 = math.radians(b.lat)
@@ -72,6 +80,27 @@ def geodesic_km(a: LatLon, b: LatLon) -> float:
         + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
     )
     # Clamp for floating error on antipodal points.
+    h = min(1.0, max(0.0, h))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+@lru_cache(maxsize=_GEODESIC_CACHE_SIZE)
+def geodesic_km(a: LatLon, b: LatLon) -> float:
+    """Haversine great-circle distance between *a* and *b* in km.
+
+    Memoized on the (hashable, frozen) coordinate pair: the trig is
+    ~10 libm calls and sits on the per-message latency hot path.  The
+    math mirrors :func:`haversine_km` inline — cache misses are the
+    bulk of the PoP-ranking sweep, so they skip the extra call.
+    """
+    lat1 = math.radians(a.lat)
+    lat2 = math.radians(b.lat)
+    dlat = lat2 - lat1
+    dlon = math.radians(b.lon - a.lon)
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
     h = min(1.0, max(0.0, h))
     return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
 

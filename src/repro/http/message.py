@@ -47,10 +47,19 @@ class Status:
 
 
 class HeaderBag:
-    """Case-insensitive, order-preserving header collection."""
+    """Case-insensitive, order-preserving header collection.
+
+    The bag carries a mutation counter (``_version``) so message-level
+    wire caches can detect header changes without comparing contents.
+    """
 
     def __init__(self, items: Optional[List[Tuple[str, str]]] = None) -> None:
         self._items: List[Tuple[str, str]] = []
+        #: Lowercased names, parallel to ``_items`` — lookups scan this
+        #: with C-level ``in``/``index`` instead of lowering every
+        #: stored name per probe.
+        self._lower: List[str] = []
+        self._version = 0
         if items:
             for name, value in items:
                 self.add(name, value)
@@ -60,6 +69,8 @@ class HeaderBag:
         if "\r" in name or "\n" in name or "\r" in value or "\n" in value:
             raise HttpError("CRLF in header")
         self._items.append((name, str(value)))
+        self._lower.append(name.lower())
+        self._version += 1
 
     def set(self, name: str, value: str) -> None:
         """Replace all values of *name* with one."""
@@ -69,25 +80,39 @@ class HeaderBag:
     def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
         """First value of *name*, or *default*."""
         lowered = name.lower()
-        for key, value in self._items:
-            if key.lower() == lowered:
-                return value
+        lower = self._lower
+        if lowered in lower:
+            return self._items[lower.index(lowered)][1]
         return default
 
     def get_all(self, name: str) -> List[str]:
         """Every value of *name*, in order."""
         lowered = name.lower()
-        return [value for key, value in self._items if key.lower() == lowered]
-
-    def remove(self, name: str) -> None:
-        """Drop all values of *name*."""
-        lowered = name.lower()
-        self._items = [
-            (key, value) for key, value in self._items if key.lower() != lowered
+        return [
+            item[1]
+            for low, item in zip(self._lower, self._items)
+            if low == lowered
         ]
 
+    def remove(self, name: str) -> None:
+        """Drop all values of *name*.
+
+        Removing an absent name leaves the bag's mutation counter
+        untouched: the contents are unchanged, so wire caches keyed on
+        the version stay valid.
+        """
+        lowered = name.lower()
+        lower = self._lower
+        if lowered not in lower:
+            return
+        items = self._items
+        keep = [index for index, low in enumerate(lower) if low != lowered]
+        self._items = [items[index] for index in keep]
+        self._lower = [lower[index] for index in keep]
+        self._version += 1
+
     def __contains__(self, name: str) -> bool:
-        return self.get(name) is not None
+        return name.lower() in self._lower
 
     def __iter__(self) -> Iterator[Tuple[str, str]]:
         return iter(self._items)
@@ -97,7 +122,10 @@ class HeaderBag:
 
     def copy(self) -> "HeaderBag":
         """An independent copy of the bag."""
-        return HeaderBag(list(self._items))
+        bag = HeaderBag()
+        bag._items = list(self._items)
+        bag._lower = list(self._lower)
+        return bag
 
     def serialize(self) -> str:
         """The header block as CRLF-terminated lines."""
@@ -129,18 +157,45 @@ class HttpRequest:
     def __post_init__(self) -> None:
         if self.body and "content-length" not in self.headers:
             self.headers.set("Content-Length", str(len(self.body)))
+        self._cache: Optional[tuple] = None
 
     @property
     def host(self) -> Optional[str]:
         return self.headers.get("Host")
 
     def to_bytes(self) -> bytes:
-        """Serialise to HTTP/1.1 wire bytes."""
+        """Serialise to HTTP/1.1 wire bytes.
+
+        Serialisation is cached and reused until the message mutates:
+        header edits bump the bag's version counter, and rebinding any
+        field replaces the object identity the cache key pins.
+        """
+        cache = self._cache
+        headers = self.headers
+        if (
+            cache is not None
+            and cache[0] is headers
+            and cache[1] == headers._version
+            and cache[2] is self.body
+            and cache[3] is self.method
+            and cache[4] is self.target
+            and cache[5] is self.version
+        ):
+            return cache[6]
         start = "{} {} {}{}".format(self.method, self.target, self.version, _CRLF)
-        return (start + self.headers.serialize() + _CRLF).encode() + self.body
+        wire = (start + headers.serialize() + _CRLF).encode() + self.body
+        self._cache = (
+            headers, headers._version, self.body,
+            self.method, self.target, self.version, wire,
+        )
+        return wire
 
     def wire_size(self) -> int:
-        """Serialised size in bytes (what the fabric charges)."""
+        """Serialised size in bytes (what the fabric charges).
+
+        Reuses the cached serialisation, so accounting a message's size
+        and then transmitting it encodes the bytes only once.
+        """
         return len(self.to_bytes())
 
     @classmethod
@@ -175,20 +230,44 @@ class HttpResponse:
     def __post_init__(self) -> None:
         if self.body and "content-length" not in self.headers:
             self.headers.set("Content-Length", str(len(self.body)))
+        self._cache: Optional[tuple] = None
 
     @property
     def ok(self) -> bool:
         return 200 <= self.status < 300
 
     def to_bytes(self) -> bytes:
-        """Serialise to HTTP/1.1 wire bytes."""
+        """Serialise to HTTP/1.1 wire bytes.
+
+        Cached until the message mutates — see
+        :meth:`HttpRequest.to_bytes` for the invalidation rules.
+        """
+        cache = self._cache
+        headers = self.headers
+        if (
+            cache is not None
+            and cache[0] is headers
+            and cache[1] == headers._version
+            and cache[2] is self.body
+            and cache[3] == self.status
+            and cache[4] is self.version
+        ):
+            return cache[5]
         start = "{} {} {}{}".format(
             self.version, self.status, Status.reason(self.status), _CRLF
         )
-        return (start + self.headers.serialize() + _CRLF).encode() + self.body
+        wire = (start + headers.serialize() + _CRLF).encode() + self.body
+        self._cache = (
+            headers, headers._version, self.body, self.status, self.version, wire,
+        )
+        return wire
 
     def wire_size(self) -> int:
-        """Serialised size in bytes (what the fabric charges)."""
+        """Serialised size in bytes (what the fabric charges).
+
+        Reuses the cached serialisation, so accounting a message's size
+        and then transmitting it encodes the bytes only once.
+        """
         return len(self.to_bytes())
 
     @classmethod

@@ -11,11 +11,19 @@ stops, events may only be triggered once, and scheduling in the past is
 an error.  All behaviour is deterministic given the initial seed of the
 random sources used by higher layers (the kernel itself uses no
 randomness).
+
+The dispatch loop is the hottest code in the repository — a full-scale
+campaign executes tens of millions of events — so :meth:`Simulator.run`
+inlines the per-event work with the heap and ``heappop`` bound to
+locals, timeouts and processes schedule bound methods instead of
+allocating a closure per event, and fired :class:`Timeout` objects are
+recycled through a free list when nothing else references them.
 """
 
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -26,6 +34,9 @@ __all__ = [
     "Timeout",
     "first_of",
 ]
+
+#: Upper bound on recycled Timeout objects kept per simulator.
+_FREELIST_MAX = 512
 
 
 class SimulationError(RuntimeError):
@@ -92,9 +103,11 @@ class Event:
         self.ok = ok
         self.value = value
         self.exception = exception
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "pending"
@@ -106,14 +119,22 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_pending")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError("negative timeout: {!r}".format(delay))
         super().__init__(sim)
-        self.delay = float(delay)
-        sim.schedule(delay, lambda: self.succeed(value))
+        self.delay = delay = float(delay)
+        self._pending = value
+        # Inline sim.schedule (delay already validated non-negative).
+        sim._seq += 1
+        sim.events_scheduled += 1
+        heapq.heappush(sim._heap, (sim.now + delay, sim._seq, self._fire, self))
+
+    def _fire(self) -> None:
+        """Kernel entry point: deliver the pending value at the deadline."""
+        self._trigger(True, self._pending, None)
 
 
 ProcessGenerator = Generator[Event, Any, Any]
@@ -138,8 +159,14 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         # Start the process on the next kernel step at the current time so
-        # that spawning never runs user code re-entrantly.
-        sim.schedule(0.0, lambda: self._resume(None, None))
+        # that spawning never runs user code re-entrantly.  (Inline
+        # zero-delay sim.schedule.)
+        sim._seq += 1
+        sim.events_scheduled += 1
+        heapq.heappush(sim._heap, (sim.now, sim._seq, self._start, None))
+
+    def _start(self) -> None:
+        self._resume(None, None)
 
     def interrupt(self, cause: str = "interrupted") -> None:
         """Throw :class:`ProcessInterrupt` into the process."""
@@ -155,7 +182,7 @@ class Process(Event):
             else:
                 target = self._generator.send(value)
         except StopIteration as stop:
-            self.succeed(stop.value)
+            self._trigger(True, stop.value, None)
             return
         except ProcessInterrupt as exc:
             self.fail(exc)
@@ -172,7 +199,12 @@ class Process(Event):
                 )
             )
             return
-        target.add_callback(self._on_event)
+        # Inline add_callback: this runs once per yield, i.e. once per
+        # kernel resumption — the single most frequent call site.
+        if target.triggered:
+            self._on_event(target)
+        else:
+            target._callbacks.append(self._on_event)
 
     def _on_event(self, event: Event) -> None:
         if event.ok:
@@ -200,9 +232,13 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        #: Heap entries are ``(time, seq, callback, owner)``; *owner* is
+        #: the Timeout the callback belongs to (recycled after firing)
+        #: or None for plain callbacks.
+        self._heap: List[Tuple[float, int, Callable[[], None], Optional[Event]]] = []
         self._seq = 0
         self._running = False
+        self._timeout_free: List[Timeout] = []
         #: Lifetime totals, scraped by ``repro.obs.collect``.  They are
         #: pure functions of the deterministic execution, so they merge
         #: identically for any worker count at a fixed shard layout.
@@ -211,13 +247,23 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run *callback* after *delay* milliseconds of simulated time."""
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        owner: Optional[Event] = None,
+    ) -> None:
+        """Run *callback* after *delay* milliseconds of simulated time.
+
+        *owner* marks the callback's Timeout for recycling once it has
+        fired and nothing else references it; external callers never
+        need to pass it.
+        """
         if delay < 0:
             raise SimulationError("cannot schedule in the past ({})".format(delay))
         self._seq += 1
         self.events_scheduled += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, owner))
 
     def event(self) -> Event:
         """Create a fresh pending event."""
@@ -225,6 +271,23 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that triggers after *delay* milliseconds."""
+        free = self._timeout_free
+        if free:
+            if delay < 0:
+                raise SimulationError("negative timeout: {!r}".format(delay))
+            timeout = free.pop()
+            timeout.delay = delay = float(delay)
+            timeout._pending = value
+            timeout.triggered = False
+            timeout.ok = False
+            timeout.value = None
+            timeout.exception = None
+            self._seq += 1
+            self.events_scheduled += 1
+            heapq.heappush(
+                self._heap, (self.now + delay, self._seq, timeout._fire, timeout)
+            )
+            return timeout
         return Timeout(self, delay, value)
 
     def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
@@ -237,28 +300,79 @@ class Simulator:
         """Execute the next scheduled callback. Returns False when idle."""
         if not self._heap:
             return False
-        time, _seq, callback = heapq.heappop(self._heap)
+        time, _seq, callback, owner = heapq.heappop(self._heap)
         if time < self.now:
             raise SimulationError("event queue corrupted: time moved backwards")
         self.now = time
         self.events_executed += 1
         callback()
+        if (
+            owner is not None
+            and len(self._timeout_free) < _FREELIST_MAX
+            and getrefcount(owner) == 3
+        ):
+            self._timeout_free.append(owner)
         return True
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the event queue drains or *until* is reached."""
+        """Run until the event queue drains or *until* is reached.
+
+        This is the kernel's hot loop: :meth:`step` is inlined with the
+        heap, ``heappop`` and the free list bound to locals.  Fired
+        timeouts are recycled only when the refcount proves the kernel
+        holds the last references (callback + loop local + getrefcount
+        argument = 3), so user code that keeps a Timeout sees exactly
+        the semantics of a freshly allocated one.
+        """
         if self._running:
             raise SimulationError("run() is not re-entrant")
         self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
+        free = self._timeout_free
+        executed = 0
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
+            if until is None:
+                # Run-to-drain (the campaign's case): no deadline check
+                # on the quarter-million-iteration loop.
+                while heap:
+                    time, _seq, callback, owner = heappop(heap)
+                    if time < self.now:
+                        raise SimulationError(
+                            "event queue corrupted: time moved backwards"
+                        )
+                    self.now = time
+                    executed += 1
+                    callback()
+                    if (
+                        owner is not None
+                        and len(free) < _FREELIST_MAX
+                        and getrefcount(owner) == 3
+                    ):
+                        free.append(owner)
+                return
+            while heap:
+                if heap[0][0] > until:
                     self.now = until
                     return
-                self.step()
-            if until is not None and until > self.now:
+                time, _seq, callback, owner = heappop(heap)
+                if time < self.now:
+                    raise SimulationError(
+                        "event queue corrupted: time moved backwards"
+                    )
+                self.now = time
+                executed += 1
+                callback()
+                if (
+                    owner is not None
+                    and len(free) < _FREELIST_MAX
+                    and getrefcount(owner) == 3
+                ):
+                    free.append(owner)
+            if until > self.now:
                 self.now = until
         finally:
+            self.events_executed += executed
             self._running = False
 
     def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:

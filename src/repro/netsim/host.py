@@ -141,7 +141,9 @@ class Host:
 
     def busy(self, duration_ms: float) -> Timeout:
         """An event representing *duration_ms* of local processing."""
-        return self.network.sim.timeout(max(0.0, duration_ms))
+        return self.network.sim.timeout(
+            duration_ms if duration_ms > 0.0 else 0.0
+        )
 
     def __hash__(self) -> int:
         return hash(self.ip)

@@ -71,11 +71,18 @@ class LatencyModel:
 
     def __init__(self, params: LatencyParams = LatencyParams()) -> None:
         self.params = params
-        # Memo of the deterministic per-(src, dst) delay components
-        # (overhead + propagation + international transit).  Keyed by
-        # the frozen site profiles themselves, so equal-valued sites
-        # share entries and stale hits are impossible.
-        self._base_cache: "dict[Tuple[SiteProfile, SiteProfile], float]" = {}
+        # Memo of everything about a (src, dst) pair that does not vary
+        # per message: the deterministic base delay (overhead +
+        # propagation + international transit), the queueing lognormal's
+        # mu, each endpoint's datacenter flag / last-mile latency /
+        # access rate in bits-per-ms, and the summed loss rate.  Keyed
+        # by the identity of the frozen site profiles — far cheaper to
+        # hash than the seven-field dataclasses themselves — with the
+        # profiles pinned in the entry so an id is never reused while
+        # its entry lives.  Every cached value is a pure function of the
+        # profile values, so identity- vs value-keying changes only
+        # hit/miss accounting, never a returned delay.
+        self._base_cache: "dict[Tuple[int, int], tuple]" = {}
         self.base_cache_hits = 0
         self.base_cache_misses = 0
 
@@ -117,21 +124,51 @@ class LatencyModel:
         Memoized — this is the expensive jitter-free part of every
         sampled delay, identical for every message on the same path.
         """
-        key = (src, dst)
-        cached = self._base_cache.get(key)
-        if cached is not None:
+        entry = self._base_cache.get((id(src), id(dst)))
+        if entry is not None:
             self.base_cache_hits += 1
-            return cached
+            return entry[0]
+        return self._pair_entry(src, dst)[0]
+
+    def _pair_entry(self, src: "SiteProfile", dst: "SiteProfile") -> tuple:
+        """Compute and memoize the per-pair constants (cache miss path).
+
+        Entry layout: ``(base_ms, queueing_mu, src_datacenter,
+        src_last_mile_ms, src_bits_per_ms, dst_datacenter,
+        dst_last_mile_ms, dst_bits_per_ms, loss_sum, src, dst)``.
+        The bits-per-ms rates cache the exact product
+        ``bandwidth_mbps * 1000.0`` that serialisation divides by, so
+        sampled delays are bit-identical to the uncached form.
+        """
+        cache = self._base_cache
         self.base_cache_misses += 1
-        value = (
-            self.params.per_hop_overhead_ms
+        params = self.params
+        base = (
+            params.per_hop_overhead_ms
             + self.propagation_ms(src, dst)
             + self._transit_extra_ms(src, dst)
         )
-        if len(self._base_cache) >= self.BASE_CACHE_LIMIT:
-            self._base_cache.clear()
-        self._base_cache[key] = value
-        return value
+        scale = max(src.jitter_scale, dst.jitter_scale)
+        mu = math.log(params.queueing_median_ms * max(scale, 1e-6))
+        if src.bandwidth_mbps <= 0 or dst.bandwidth_mbps <= 0:
+            raise ValueError("site bandwidth must be positive")
+        if len(cache) >= self.BASE_CACHE_LIMIT:
+            cache.clear()
+        entry = (
+            base,
+            mu,
+            src.datacenter,
+            src.last_mile_ms,
+            src.bandwidth_mbps * 1000.0,
+            dst.datacenter,
+            dst.last_mile_ms,
+            dst.bandwidth_mbps * 1000.0,
+            src.loss_rate + dst.loss_rate,
+            src,
+            dst,
+        )
+        cache[(id(src), id(dst))] = entry
+        return entry
 
     # -- sampling ---------------------------------------------------------
 
@@ -142,16 +179,37 @@ class LatencyModel:
         nbytes: int,
         rng: random.Random,
     ) -> float:
-        """Sample a one-way delay for a message of *nbytes*."""
-        delay = (
-            self.base_ms(src, dst)
-            + self._access_ms(src, rng)
-            + self._access_ms(dst, rng)
-            + self.serialization_ms(src, nbytes)
-            + self.serialization_ms(dst, nbytes)
-            + self._queueing_ms(src, dst, rng)
-        )
-        return max(delay, self.params.min_delay_ms)
+        """Sample a one-way delay for a message of *nbytes*.
+
+        The component methods above stay the spec; this body inlines
+        them because it runs once per simulated transmission — well
+        over a hundred thousand times per small campaign.  The RNG
+        draw order (src access, dst access, queueing) and every
+        floating-point expression match the component methods exactly,
+        so sampled delays are bit-identical to the unrolled form.
+        """
+        entry = self._base_cache.get((id(src), id(dst)))
+        if entry is not None:
+            self.base_cache_hits += 1
+        else:
+            entry = self._pair_entry(src, dst)
+        params = self.params
+        (delay, mu, src_dc, src_lm, src_bits_ms,
+         dst_dc, dst_lm, dst_bits_ms, _loss, _src, _dst) = entry
+        if src_dc:
+            delay += src_lm
+        else:
+            delay += src_lm * rng.lognormvariate(0.0, params.access_sigma)
+        if dst_dc:
+            delay += dst_lm
+        else:
+            delay += dst_lm * rng.lognormvariate(0.0, params.access_sigma)
+        bits = nbytes * 8.0
+        delay += bits / src_bits_ms
+        delay += bits / dst_bits_ms
+        delay += rng.lognormvariate(mu, params.queueing_sigma)
+        min_delay = params.min_delay_ms
+        return delay if delay > min_delay else min_delay
 
     def loss(
         self, src: "SiteProfile", dst: "SiteProfile", rng: random.Random

@@ -10,6 +10,7 @@ one-way delays and losses, and preserving FIFO ordering per
 from __future__ import annotations
 
 import random
+from heapq import heappush
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.netsim.engine import Simulator
@@ -145,20 +146,73 @@ class Network:
         is silently dropped and None is returned (UDP semantics).
 
         Returns the scheduled arrival time, or None if dropped.
+
+        This is the fabric's per-message hot path, so the sampling
+        helpers above are inlined: delay first, then the i.i.d. loss
+        draw, then the burst chain — the exact RNG draw order of
+        :meth:`sample_one_way_ms` followed by :meth:`sample_loss`.  The
+        per-pair constants (base delay, queueing mu, access rates, loss
+        sum) come straight from the latency model's pair memo.
         """
-        dst = self.host(dst_ip)
-        delay = self.sample_one_way_ms(src, dst, nbytes) + extra_delay_ms
-        if self.sample_loss(src, dst):
+        try:
+            dst = self._hosts[dst_ip]
+        except KeyError:
+            raise UnknownHostError(
+                "no host attached at {}".format(dst_ip)
+            ) from None
+        rng = self.rng
+        src_site = src.site
+        dst_site = dst.site
+        latency = self.latency
+        entry = latency._base_cache.get((id(src_site), id(dst_site)))
+        if entry is not None:
+            latency.base_cache_hits += 1
+        else:
+            entry = latency._pair_entry(src_site, dst_site)
+        params = latency.params
+        (delay, mu, src_dc, src_lm, src_bits_ms,
+         dst_dc, dst_lm, dst_bits_ms, loss_sum, _src, _dst) = entry
+        if src_dc:
+            delay += src_lm
+        else:
+            delay += src_lm * rng.lognormvariate(0.0, params.access_sigma)
+        if dst_dc:
+            delay += dst_lm
+        else:
+            delay += dst_lm * rng.lognormvariate(0.0, params.access_sigma)
+        bits = nbytes * 8.0
+        delay += bits / src_bits_ms
+        delay += bits / dst_bits_ms
+        delay += rng.lognormvariate(mu, params.queueing_sigma)
+        min_delay = params.min_delay_ms
+        if delay <= min_delay:
+            delay = min_delay
+        delay += extra_delay_ms
+        lost = rng.random() < loss_sum
+        burst = self.burst_loss
+        if burst is not None:
+            # The chain steps on every transmission, even already-lost
+            # ones, so burst state is a function of transmission count.
+            lost = burst.lost() or lost
+        if lost:
             if not reliable:
                 return None
             delay += self._retransmission_penalty_ms(src, dst)
-        arrival = self.sim.now + delay
+        sim = self.sim
+        arrival = sim.now + delay
         key = (src.ip, dst_ip, channel)
-        previous = self._last_arrival.get(key)
+        last = self._last_arrival
+        previous = last.get(key)
         if previous is not None and arrival <= previous:
             arrival = previous + 1e-6
-        self._last_arrival[key] = arrival
-        self.sim.schedule(arrival - self.sim.now, deliver)
+        last[key] = arrival
+        # Inline sim.schedule(arrival - now, deliver): the delay is
+        # non-negative by construction (sampled delay has a positive
+        # floor and the FIFO guard only pushes arrivals later), so the
+        # kernel's in-the-past check is redundant here.
+        sim._seq += 1
+        sim.events_scheduled += 1
+        heappush(sim._heap, (arrival, sim._seq, deliver, None))
         return arrival
 
     def forget_flow_state(self) -> None:

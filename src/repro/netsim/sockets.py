@@ -69,43 +69,69 @@ class Datagram:
     nbytes: int
 
 
+def _socket_closed() -> Exception:
+    return OSError("socket closed")
+
+
+def _peer_closed() -> Exception:
+    return ConnectionClosed("peer closed connection")
+
+
+def _conn_closed() -> Exception:
+    return ConnectionClosed("connection closed")
+
+
 class _Mailbox:
-    """FIFO inbox shared by UDP sockets and TCP connection endpoints."""
+    """FIFO inbox shared by UDP sockets and TCP connection endpoints.
+
+    Receives are the per-message hot path, so the mailbox triggers
+    waiter events directly (skipping the ``succeed`` wrapper) and
+    supports unwrapping ``(payload, nbytes)`` items at delivery time —
+    sparing :meth:`TcpConnection.recv` a relay event per message.
+    """
 
     __slots__ = ("_host", "_queue", "_waiters", "closed")
 
     def __init__(self, host: Host) -> None:
         self._host = host
         self._queue: Deque[Any] = deque()
-        self._waiters: Deque[Event] = deque()
+        #: Waiting ``(event, unwrap)`` pairs, FIFO.
+        self._waiters: Deque[Tuple[Event, bool]] = deque()
         self.closed = False
 
     def push(self, item: Any) -> None:
-        while self._waiters:
-            waiter = self._waiters.popleft()
+        waiters = self._waiters
+        while waiters:
+            waiter, unwrap = waiters.popleft()
             if not waiter.triggered:
-                waiter.succeed(item)
+                waiter._trigger(True, item[0] if unwrap else item, None)
                 return
         self._queue.append(item)
 
     def close(self, exc_factory: Callable[[], Exception]) -> None:
         self.closed = True
         while self._waiters:
-            waiter = self._waiters.popleft()
+            waiter, _unwrap = self._waiters.popleft()
             if not waiter.triggered:
                 waiter.fail(exc_factory())
 
     def pop(self, timeout_ms: Optional[float],
-            exc_factory: Callable[[], Exception]) -> Event:
+            exc_factory: Callable[[], Exception],
+            unwrap: bool = False) -> Event:
         sim = self._host.network.sim
-        event = sim.event()
+        event = Event(sim)
         if self._queue:
-            event.succeed(self._queue.popleft())
+            item = self._queue.popleft()
+            # Inline an immediate success: the event is brand new, so
+            # there are no callbacks to run and no double-trigger risk.
+            event.triggered = True
+            event.ok = True
+            event.value = item[0] if unwrap else item
             return event
         if self.closed:
             event.fail(exc_factory())
             return event
-        self._waiters.append(event)
+        self._waiters.append((event, unwrap))
         if timeout_ms is not None:
 
             def expire() -> None:
@@ -162,14 +188,14 @@ class UdpSocket:
 
         Fails with :class:`SocketTimeout` if *timeout_ms* elapses first.
         """
-        return self._mailbox.pop(timeout_ms, lambda: OSError("socket closed"))
+        return self._mailbox.pop(timeout_ms, _socket_closed)
 
     def close(self) -> None:
         """Close this endpoint (pending receives fail)."""
         if not self.closed:
             self.closed = True
             self.host.network.udp_ports.pop((self.host.ip, self.port), None)
-            self._mailbox.close(lambda: OSError("socket closed"))
+            self._mailbox.close(_socket_closed)
 
 
 class TcpConnection:
@@ -178,7 +204,7 @@ class TcpConnection:
     __slots__ = (
         "host", "local_port", "remote_ip", "remote_port", "channel",
         "peer", "closed", "remote_closed", "handshake_ms",
-        "bytes_sent", "bytes_received", "_mailbox",
+        "bytes_sent", "bytes_received", "_mailbox", "_outbox",
     )
 
     def __init__(
@@ -203,6 +229,10 @@ class TcpConnection:
         self.bytes_sent = 0
         self.bytes_received = 0
         self._mailbox = _Mailbox(host)
+        #: In-flight ``(payload, nbytes)`` items, drained in FIFO order
+        #: by :meth:`_deliver_next` (the fabric preserves per-channel
+        #: ordering, so index bookkeeping is unnecessary).
+        self._outbox: Deque[Tuple[Any, int]] = deque()
 
     # -- data path ---------------------------------------------------------
 
@@ -212,41 +242,37 @@ class TcpConnection:
             raise ConnectionClosed("send on closed connection")
         if self.peer is None:
             raise ConnectionClosed("connection not established")
-        peer = self.peer
         self.bytes_sent += nbytes
-
-        def deliver() -> None:
-            if not peer.closed:
-                peer.bytes_received += nbytes
-                peer._mailbox.push((payload, nbytes))
-
+        # The bound delivery method replaces a per-send closure; the
+        # outbox supplies the message because per-channel FIFO delivery
+        # means arrivals drain it in send order.
+        self._outbox.append((payload, nbytes))
         self.host.network.transmit(
             self.host,
             self.remote_ip,
             nbytes + _ACK_BYTES,
-            deliver,
+            self._deliver_next,
             channel=self.channel,
             reliable=True,
         )
+
+    def _deliver_next(self) -> None:
+        item = self._outbox.popleft()
+        peer = self.peer
+        if not peer.closed:
+            peer.bytes_received += item[1]
+            peer._mailbox.push(item)
 
     def recv(self, timeout_ms: Optional[float] = None) -> Event:
         """Event yielding the next message payload.
 
         Fails with :class:`ConnectionClosed` once the peer has closed
         and all in-flight data has been drained, or with
-        :class:`SocketTimeout` on deadline expiry.
+        :class:`SocketTimeout` on deadline expiry.  The mailbox unwraps
+        the ``(payload, nbytes)`` item at delivery time, so no relay
+        event is allocated per message.
         """
-        sized = self.recv_sized(timeout_ms=timeout_ms)
-        unwrapped = self.host.network.sim.event()
-
-        def relay(event: Event) -> None:
-            if event.ok:
-                unwrapped.succeed(event.value[0])
-            else:
-                unwrapped.fail(event.exception)  # type: ignore[arg-type]
-
-        sized.add_callback(relay)
-        return unwrapped
+        return self._mailbox.pop(timeout_ms, _peer_closed, unwrap=True)
 
     def recv_sized(self, timeout_ms: Optional[float] = None) -> Event:
         """Like :meth:`recv` but yields ``(payload, nbytes)``.
@@ -254,16 +280,14 @@ class TcpConnection:
         Tunnel relays need the original wire size to recharge the next
         leg correctly.
         """
-        return self._mailbox.pop(
-            timeout_ms, lambda: ConnectionClosed("peer closed connection")
-        )
+        return self._mailbox.pop(timeout_ms, _peer_closed)
 
     def close(self) -> None:
         """Close this endpoint and notify the peer (FIN)."""
         if self.closed:
             return
         self.closed = True
-        self._mailbox.close(lambda: ConnectionClosed("connection closed"))
+        self._mailbox.close(_conn_closed)
         peer = self.peer
         if peer is None or peer.closed:
             return
@@ -271,9 +295,7 @@ class TcpConnection:
         def deliver_fin() -> None:
             if not peer.closed:
                 peer.remote_closed = True
-                peer._mailbox.close(
-                    lambda: ConnectionClosed("peer closed connection")
-                )
+                peer._mailbox.close(_peer_closed)
 
         self.host.network.transmit(
             self.host,
@@ -293,7 +315,7 @@ class TcpConnection:
 class TcpListener:
     """A passive TCP endpoint that spawns a handler per connection."""
 
-    __slots__ = ("host", "port", "handler", "closed")
+    __slots__ = ("host", "port", "handler", "closed", "_handler_name")
 
     def __init__(self, host: Host, port: int, handler) -> None:
         key = (host.ip, port)
@@ -305,6 +327,9 @@ class TcpListener:
         self.port = port
         self.handler = handler
         self.closed = False
+        # One spawn per accepted connection: format the diagnostic
+        # process name once per listener, not once per connection.
+        self._handler_name = "tcp-handler-{}:{}".format(host.ip, port)
 
     def _accept(self, client_conn_info: Tuple[str, int, int]) -> "TcpConnection":
         client_ip, client_port, channel = client_conn_info
@@ -315,10 +340,7 @@ class TcpListener:
             remote_port=client_port,
             channel=channel,
         )
-        self.host.network.sim.spawn(
-            self.handler(conn),
-            name="tcp-handler-{}:{}".format(self.host.ip, self.port),
-        )
+        self.host.network.sim.spawn(self.handler(conn), name=self._handler_name)
         return conn
 
     def close(self) -> None:

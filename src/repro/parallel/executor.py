@@ -34,6 +34,7 @@ a pure function of ``(config, spec)``.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import (
     ProcessPoolExecutor,
     TimeoutError as _FuturesTimeout,
@@ -43,6 +44,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.campaign import AtlasRawSample, CampaignResult
 from repro.core.config import ReproConfig
+from repro.core.plan import WorldPlan
 from repro.dataset.builder import DatasetBuilder
 from repro.geo.geolocate import GeolocationService
 from repro.obs.metrics import MetricsRegistry
@@ -60,12 +62,39 @@ from repro.parallel.worker import (
     run_measurement_shard,
 )
 
-__all__ = ["ShardExecutionError", "run_parallel_campaign"]
+__all__ = [
+    "ShardExecutionError",
+    "default_worker_count",
+    "run_parallel_campaign",
+]
 
 ProgressFn = Callable[[int, int], None]
 
 #: One unit of worker work: ``(function, argument, label)``.
 WorkItem = Tuple[Callable, object, str]
+
+
+def default_worker_count() -> int:
+    """CPUs actually available to this process.
+
+    Prefers ``os.process_cpu_count`` (Python 3.13+: affinity-aware),
+    then the scheduler affinity mask (containers with CPU pinning),
+    then the raw CPU count.  Never returns less than 1.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        count = process_cpu_count()
+        if count:
+            return max(1, count)
+    sched_getaffinity = getattr(os, "sched_getaffinity", None)
+    if sched_getaffinity is not None:
+        try:
+            mask = sched_getaffinity(0)
+        except OSError:
+            mask = None
+        if mask:
+            return max(1, len(mask))
+    return max(1, os.cpu_count() or 1)
 
 
 class ShardExecutionError(RuntimeError):
@@ -153,7 +182,7 @@ def _execute_tasks(
 
 def run_parallel_campaign(
     config: ReproConfig,
-    workers: int = 1,
+    workers: Optional[int] = 1,
     num_shards: Optional[int] = None,
     atlas_probes_per_country: int = 8,
     atlas_repetitions: int = 2,
@@ -164,6 +193,12 @@ def run_parallel_campaign(
     observe: bool = False,
 ) -> CampaignResult:
     """Run the full campaign across *workers* processes.
+
+    ``workers=None`` sizes the pool to the CPUs available to this
+    process (:func:`default_worker_count`).  When the effective worker
+    count is 1, every task runs inline in this process — no pool, no
+    spawn, no pickling — which is both the fastest single-core
+    execution and the reference the parity tests compare against.
 
     *num_shards* fixes the fleet partition (default
     :data:`DEFAULT_NUM_SHARDS`); it is part of the experiment
@@ -178,6 +213,8 @@ def run_parallel_campaign(
     merged result then carries summed counters, merged histograms and
     all shard traces.  The dataset stays byte-identical either way.
     """
+    if workers is None:
+        workers = default_worker_count()
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if num_shards is None:
@@ -185,9 +222,14 @@ def run_parallel_campaign(
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
 
+    # The deterministic, RNG-free slice of every world build, computed
+    # once here instead of once per worker process.
+    plan = WorldPlan.for_config(config)
+
     specs = make_shards(num_shards, max_nodes=max_nodes)
     shard_tasks = [
-        ShardTask(config, spec, observe=observe) for spec in specs
+        ShardTask(config, spec, observe=observe, plan=plan)
+        for spec in specs
     ]
     atlas_task: Optional[AtlasTask] = None
     if atlas_probes_per_country > 0:
@@ -198,6 +240,7 @@ def run_parallel_campaign(
             # Past every shard's client stream (they use seed+1+k for
             # k < num_shards), so Atlas query names never collide.
             client_seed=config.seed + 1 + num_shards,
+            plan=plan,
         )
 
     items: List[WorkItem] = [

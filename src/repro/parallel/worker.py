@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.campaign import AtlasRawSample, Campaign, NodeFailure
 from repro.core.config import ReproConfig
+from repro.core.plan import WorldPlan
 from repro.core.timeline import Do53Raw, DohRaw
 from repro.core.validation import filter_mismatched
 from repro.core.world import build_world
@@ -52,6 +53,11 @@ class ShardTask:
     #: metrics/trace snapshots back as plain data.  Never affects the
     #: measured records themselves.
     observe: bool = False
+    #: Precomputed world-build snapshot (see :class:`WorldPlan`).
+    #: Computed once by the executor and shipped to every worker; None
+    #: makes the worker derive everything itself, with identical
+    #: results.
+    plan: Optional[WorldPlan] = None
 
 
 @dataclass(frozen=True)
@@ -69,6 +75,8 @@ class AtlasTask:
     #: measurement shard.
     client_seed: int
     name_tag: str = "a-"
+    #: Precomputed world-build snapshot (see :class:`ShardTask.plan`).
+    plan: Optional[WorldPlan] = None
 
 
 @dataclass
@@ -101,7 +109,7 @@ def run_measurement_shard(task: ShardTask) -> ShardResult:
     spec = task.spec
     obs = Observability() if task.observe else None
     wall_start = time.perf_counter()
-    world = build_world(config)
+    world = build_world(config, plan=task.plan)
     campaign = Campaign(
         world,
         atlas_probes_per_country=0,
@@ -166,7 +174,7 @@ def run_measurement_shard(task: ShardTask) -> ShardResult:
 
 def run_atlas_task(task: AtlasTask) -> List[AtlasRawSample]:
     """Build a world and run only the RIPE Atlas supplement."""
-    world = build_world(task.config)
+    world = build_world(task.config, plan=task.plan)
     campaign = Campaign(
         world,
         atlas_probes_per_country=task.probes_per_country,

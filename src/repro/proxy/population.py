@@ -24,6 +24,7 @@ import math
 import random
 import statistics
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dns.records import ResourceRecord
@@ -259,6 +260,7 @@ def resolver_site_for(
     )
 
 
+@lru_cache(maxsize=None)
 def country_resolver_quality(country_code: str) -> float:
     """Deterministic per-country ISP-resolver quality multiplier.
 
@@ -280,6 +282,7 @@ def country_resolver_quality(country_code: str) -> float:
     return min(15.0, max(0.4, math.exp(1.0 * z)))
 
 
+@lru_cache(maxsize=None)
 def country_has_remote_resolvers(country_code: str) -> bool:
     """Whether a country's ISPs resolve through off-shore upstreams.
 
@@ -299,9 +302,15 @@ def country_has_remote_resolvers(country_code: str) -> bool:
 _REMOTE_RESOLVER_HUBS = ("london", "miami", "frankfurt", "singaporecity")
 
 
-def _resolver_processing_ms(country: Country, rng: random.Random) -> float:
+def _resolver_processing_ms(
+    country: Country,
+    rng: random.Random,
+    quality: Optional[float] = None,
+) -> float:
+    if quality is None:
+        quality = country_resolver_quality(country.code)
     base = (1.2 + 10.0 / math.sqrt(country.bandwidth_mbps))
-    base *= country_resolver_quality(country.code)
+    base *= quality
     return base * rng.lognormvariate(0.0, 0.4)
 
 
@@ -360,6 +369,7 @@ def build_population(
     config: PopulationConfig,
     warm_records: Sequence[ResourceRecord] = (),
     provider_records: Mapping[str, Sequence[ResourceRecord]] = {},
+    plan=None,
 ) -> PopulationResult:
     """Create every exit node, ISP resolver and enrolment record.
 
@@ -368,8 +378,22 @@ def build_population(
     maps provider domains to their A records, pre-cached with
     probability ``config.provider_warm_prob`` per resolver (popular
     names are usually warm in ISP caches).
+
+    *plan*, if given, is a :class:`repro.core.plan.WorldPlan` carrying
+    the precomputed population fit, resolver-quality multipliers and
+    remote-resolver hub choices.  Every plan value equals what this
+    function derives itself, so the built fleet — and every RNG draw —
+    is identical with or without one; the plan only skips recomputing.
     """
-    counts = config.scaled_counts()
+    if plan is not None:
+        plan.check_population(config)
+        counts = plan.counts
+        quality_map: Optional[Mapping[str, float]] = plan.resolver_quality
+        remote_hubs: Optional[Mapping[str, str]] = plan.remote_hub
+    else:
+        counts = config.scaled_counts()
+        quality_map = None
+        remote_hubs = None
     infrastructure: Dict[str, CountryInfrastructure] = {}
     resolver_kind: Dict[str, str] = {}
     nodes: List[ExitNode] = []
@@ -382,15 +406,26 @@ def build_population(
             continue
         infra = CountryInfrastructure(country=country)
         n_resolvers = max(1, min(5, int(round(math.log(2 + country.num_ases)))))
-        remote = country_has_remote_resolvers(code)
-        if remote:
-            from repro.geo.cities import CITIES
-            from repro.geo.coords import geodesic_km
+        country_quality = (
+            quality_map[code] if quality_map is not None else None
+        )
+        if remote_hubs is not None:
+            hub_key = remote_hubs.get(code)
+            remote = hub_key is not None
+            if remote:
+                from repro.geo.cities import CITIES
 
-            hub = min(
-                (CITIES[key] for key in _REMOTE_RESOLVER_HUBS),
-                key=lambda c: geodesic_km(c.location, country.location),
-            )
+                hub = CITIES[hub_key]
+        else:
+            remote = country_has_remote_resolvers(code)
+            if remote:
+                from repro.geo.cities import CITIES
+                from repro.geo.coords import geodesic_km
+
+                hub = min(
+                    (CITIES[key] for key in _REMOTE_RESOLVER_HUBS),
+                    key=lambda c: geodesic_km(c.location, country.location),
+                )
         for index in range(n_resolvers):
             ip = allocator.allocate(code, new_subnet=True)
             host = network.add_host(
@@ -407,7 +442,9 @@ def build_population(
                 host,
                 list(root_servers),
                 rng,
-                processing_ms=_resolver_processing_ms(country, rng),
+                processing_ms=_resolver_processing_ms(
+                    country, rng, quality=country_quality
+                ),
             )
             _warm_resolver(resolver, warm_records, provider_records,
                            config.provider_warm_prob, rng)
@@ -438,6 +475,9 @@ def build_population(
             continue
         infra = infrastructure[code]
         blocked = censorship.blocked_hosts_for(code)
+        country_quality = (
+            quality_map[code] if quality_map is not None else None
+        )
         for index in range(n_nodes):
             ip = allocator.allocate(code, new_subnet=True)
             site = client_site_for(country, rng)
@@ -446,7 +486,8 @@ def build_population(
             )
             geolocation.register(ip, code, site.location)
             kind, resolver_ip = choose_default_resolver(
-                code, infra, infrastructure, rng, config
+                code, infra, infrastructure, rng, config,
+                quality=country_quality,
             )
             claimed = code
             if rng.random() < config.mislabel_rate:
@@ -496,6 +537,7 @@ def choose_default_resolver(
     all_infra: Dict[str, CountryInfrastructure],
     rng: random.Random,
     config: PopulationConfig,
+    quality: Optional[float] = None,
 ) -> Tuple[str, str]:
     """Pick a node's default resolver; returns (kind, resolver_ip).
 
@@ -504,7 +546,8 @@ def choose_default_resolver(
     slow resolvers — these are the countries the paper finds benefiting
     from a switch to DoH (e.g. Brazil, Indonesia).
     """
-    quality = country_resolver_quality(code)
+    if quality is None:
+        quality = country_resolver_quality(code)
     bad_rate = config.bad_resolver_rate
     if quality >= 2.5:
         bad_rate = min(0.7, bad_rate + 0.1 * quality)

@@ -32,6 +32,7 @@ __all__ = [
     "SERVER_FLIGHT_BYTES",
     "SERVER_FLIGHT_RESUMED_BYTES",
     "CLIENT_FINISHED_BYTES",
+    "server_flight_bytes",
 ]
 
 
@@ -56,6 +57,29 @@ CLIENT_FINISHED_BYTES = 80
 CLIENT_KEX_BYTES = 180  # TLS 1.2 ClientKeyExchange+CCS+Finished
 SERVER_FINISHED_BYTES = 75  # TLS 1.2 CCS+Finished
 TICKET_BYTES = 220
+
+#: Server first-flight sizes, precomputed once per ``(version, resumed,
+#: ticket issued)`` instead of being re-derived inside every simulated
+#: handshake — a campaign performs one full handshake per (node,
+#: provider, run) session.
+_SERVER_FLIGHT_TABLE = {
+    (version, resumed, with_ticket): (
+        (SERVER_FLIGHT_RESUMED_BYTES if resumed else SERVER_FLIGHT_BYTES)
+        + (TICKET_BYTES if with_ticket else 0)
+    )
+    for version in TlsVersion.ALL
+    for resumed in (False, True)
+    for with_ticket in (False, True)
+}
+
+
+def server_flight_bytes(version: str, resumed: bool, with_ticket: bool) -> int:
+    """Size of the server's first flight for a given handshake shape.
+
+    Exposed so session layers can precompute per-(provider, version)
+    handshake budgets without running a simulated handshake.
+    """
+    return _SERVER_FLIGHT_TABLE[version, resumed, with_ticket]
 
 
 @dataclass(frozen=True)
@@ -168,9 +192,7 @@ def server_handshake(
 
     resumed = hello.ticket is not None and hello.version == TlsVersion.TLS13
     ticket = _SessionTicketToken(sni=hello.sni) if issue_ticket else None
-    flight_bytes = SERVER_FLIGHT_RESUMED_BYTES if resumed else SERVER_FLIGHT_BYTES
-    if ticket is not None:
-        flight_bytes += TICKET_BYTES
+    flight_bytes = _SERVER_FLIGHT_TABLE[hello.version, resumed, ticket is not None]
     conn.send(
         _Flight(kind="server_flight", version=hello.version, ticket=ticket),
         flight_bytes,

@@ -1,0 +1,137 @@
+"""Decoder edge cases for RFC 1035 name compression.
+
+The wire memo added for the hot path means well-formed simulator
+traffic rarely exercises the real decoder; these tests pin the
+decoder's behaviour on the adversarial shapes it must keep rejecting —
+forward pointers, pointer chains past the hop limit, truncated labels
+and pointers, and the reserved label types.
+"""
+
+import struct
+
+import pytest
+
+from repro.dns.message import (
+    Flags,
+    Header,
+    Message,
+    WireError,
+    _MAX_POINTER_HOPS,
+    _decode_name,
+)
+from repro.dns.name import DomainName
+from repro.dns.records import RRType
+
+
+def _query_wire(name: str = "host.a.com") -> bytes:
+    return Message.query(7, DomainName(name), RRType.A).to_wire()
+
+
+def _header(qdcount: int = 1) -> bytes:
+    return Header(1, Flags(), qdcount=qdcount).encode()
+
+
+class TestForwardPointers:
+    def test_forward_pointer_rejected(self):
+        # The question name is a pointer to a position after itself.
+        wire = _header() + b"\xc0\x20"
+        with pytest.raises(WireError, match="forward"):
+            Message.from_wire(wire)
+
+    def test_self_pointer_rejected(self):
+        # A pointer to its own offset is "forward" too (>= offset):
+        # following it would never terminate.
+        wire = _header() + b"\xc0\x0c"
+        with pytest.raises(WireError, match="forward"):
+            Message.from_wire(wire)
+
+
+class TestPointerChains:
+    def test_chain_over_hop_limit_rejected(self):
+        # A strictly-backward chain: the root label sits at offset 0,
+        # then pointers at 1, 3, 5, ... each hop to the previous one.
+        # Every hop is backward (legal individually), but the chain is
+        # longer than the decoder's hop budget.
+        chain = bytearray(b"\x00")
+        offsets = [0]
+        for _ in range(_MAX_POINTER_HOPS + 2):
+            target = offsets[-1]
+            offsets.append(len(chain))
+            chain += struct.pack("!H", 0xC000 | target)
+        with pytest.raises(WireError, match="pointer loop"):
+            _decode_name(bytes(chain), offsets[-1])
+
+    def test_chain_under_hop_limit_accepted(self):
+        # The same construction, but within budget: decodes to root.
+        chain = bytearray(b"\x00")
+        offsets = [0]
+        for _ in range(_MAX_POINTER_HOPS - 1):
+            target = offsets[-1]
+            offsets.append(len(chain))
+            chain += struct.pack("!H", 0xC000 | target)
+        name, end = _decode_name(bytes(chain), offsets[-1])
+        assert name == DomainName(".")
+        assert end == offsets[-1] + 2
+
+    def test_backward_pointer_decodes_shared_suffix(self):
+        # Sanity: compression working as intended still decodes.
+        wire = _query_wire("host.a.com")
+        decoded = Message.from_wire(wire)
+        assert decoded.question.name == DomainName("host.a.com")
+
+
+class TestTruncation:
+    def test_truncated_label_rejected(self):
+        # Length byte promises more octets than remain.
+        wire = _header() + b"\x09abc"
+        with pytest.raises(WireError, match="truncated"):
+            Message.from_wire(wire)
+
+    def test_truncated_compression_pointer_rejected(self):
+        # First pointer byte present, second byte missing.
+        wire = _header() + b"\xc0"
+        with pytest.raises(WireError, match="truncated compression"):
+            Message.from_wire(wire)
+
+    def test_name_running_off_the_end_rejected(self):
+        # No terminating root label at all.
+        wire = _header() + b"\x03abc"
+        with pytest.raises(WireError, match="truncated"):
+            Message.from_wire(wire)
+
+    def test_truncated_question_fixed_fields_rejected(self):
+        wire = _query_wire()[:-3]
+        with pytest.raises(WireError):
+            Message.from_wire(wire)
+
+
+class TestReservedLabelTypes:
+    @pytest.mark.parametrize("first_byte", [0x40, 0x80, 0x7F, 0xBF])
+    def test_reserved_label_type_rejected(self, first_byte):
+        # 0b01xxxxxx and 0b10xxxxxx label types are reserved (only
+        # plain labels 0b00 and pointers 0b11 exist).
+        wire = _header() + bytes([first_byte]) + b"\x00" * 8
+        with pytest.raises(WireError, match="reserved label"):
+            Message.from_wire(wire)
+
+
+class TestMemoBypass:
+    def test_mutated_bytes_miss_the_memo(self):
+        # The encode-side wire memo must never serve bytes that were
+        # corrupted in flight: flipping any bit changes the key.
+        wire = _query_wire("memo.a.com")
+        assert Message.from_wire(wire).question.name == DomainName(
+            "memo.a.com"
+        )
+        corrupted = bytearray(wire)
+        corrupted[4:6] = struct.pack("!H", 9)  # qdcount lies: 9 questions
+        with pytest.raises(WireError):
+            Message.from_wire(bytes(corrupted))
+
+    def test_equal_value_different_object_hits(self):
+        # The memo is keyed by value, not identity: a sliced copy of
+        # the same bytes (TCP framing does this) decodes identically.
+        wire = _query_wire("copy.a.com")
+        framed = b"\x00\x00" + wire
+        decoded = Message.from_wire(framed[2:])
+        assert decoded.question.name == DomainName("copy.a.com")

@@ -44,7 +44,8 @@ def _parse_args() -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=20210402)
     parser.add_argument("--workers", type=int, default=1,
-                        help="worker processes (1 = legacy serial run)")
+                        help="worker processes (1 = legacy serial run, "
+                             "0 = auto-size to available CPUs)")
     parser.add_argument("--shards", type=int, default=None,
                         help="fleet shard count (default 8 when sharded)")
     parser.add_argument("--observe", action="store_true",
@@ -69,9 +70,13 @@ def main() -> None:
     config = ReproConfig(seed=seed, population=PopulationConfig(scale=1.0))
     campaign_started = time.time()
 
-    if args.workers > 1 or args.shards is not None:
+    if args.workers != 1 or args.shards is not None:
+        from repro.parallel.executor import default_worker_count
+
+        workers = args.workers if args.workers > 0 else default_worker_count()
+        args.workers = workers
         emit("sharded campaign: workers={} shards={}".format(
-            args.workers, args.shards or "default"))
+            workers, args.shards or "default"))
 
         def shard_progress(done, total):
             print("  finished task {}/{} ({:.0f}s)".format(
