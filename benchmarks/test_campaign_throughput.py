@@ -13,6 +13,7 @@ import random
 import time
 
 from repro.core.campaign import Campaign
+from repro.ioutil import atomic_write_json
 from repro.core.client import MeasurementClient
 from repro.core.config import ReproConfig
 from repro.core.world import build_world
@@ -105,7 +106,8 @@ def test_serial_campaign_throughput():
         "baseline_meas_per_sec": round(baseline, 1),
         "speedup_vs_baseline": round(meas_per_sec / baseline, 3),
     }
-    SERIAL_OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    atomic_write_json(str(SERIAL_OUT_PATH), report, indent=2,
+                      trailing_newline=True)
     print("\n" + json.dumps(report, indent=2))
 
     assert meas_per_sec >= 0.75 * baseline, (

@@ -22,6 +22,7 @@ import pathlib
 import time
 
 from repro.core.campaign import Campaign
+from repro.ioutil import atomic_write_json
 from repro.core.config import ReproConfig
 from repro.core.world import build_world
 from repro.parallel import run_parallel_campaign
@@ -83,7 +84,8 @@ def test_sharded_executor_speedup():
         "parallel_meas_per_sec": round(parallel_count / parallel_s, 1),
         "speedup": round(speedup, 3),
     }
-    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    atomic_write_json(str(OUT_PATH), report, indent=2,
+                      trailing_newline=True)
     print("\n" + json.dumps(report, indent=2))
 
     # Process parallelism cannot beat serial on a starved machine; only

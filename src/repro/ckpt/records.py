@@ -1,0 +1,128 @@
+"""JSON codecs for the raw records the sample ledger journals.
+
+Samples are stored as compact positional arrays, keyed — like the
+measurement itself — by ``(node_id, provider, run_index)``.  Floats
+round-trip exactly through :mod:`json` (Python serialises the shortest
+repr that parses back to the same IEEE double), which is what lets a
+replayed ledger reproduce dataset bytes bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.campaign import NodeFailure
+from repro.core.timeline import Do53Raw, DohRaw
+from repro.proxy.headers import TimelineHeaders
+
+__all__ = [
+    "do53_from_json",
+    "do53_to_json",
+    "doh_from_json",
+    "doh_to_json",
+    "failure_from_json",
+    "failure_to_json",
+]
+
+
+def _headers_to_json(headers: TimelineHeaders) -> List:
+    # Key/value PAIR LISTS, not objects: the ledger writer canonicalises
+    # records with sort_keys, which would silently reorder a nested dict.
+    # Header dicts are summed downstream (``brightdata_ms``) and float
+    # addition is not associative, so insertion order must survive the
+    # round trip for replayed records to rebuild dataset bytes exactly.
+    return [
+        [[key, value] for key, value in headers.tun.items()],
+        [[key, value] for key, value in headers.box.items()],
+    ]
+
+
+def _headers_from_json(data: List) -> TimelineHeaders:
+    tun, box = data
+    return TimelineHeaders(
+        tun={key: value for key, value in tun},
+        box={key: value for key, value in box},
+    )
+
+
+def doh_to_json(raw: DohRaw) -> List:
+    """Serialise one raw DoH measurement as a positional array."""
+    return [
+        raw.node_id,
+        raw.exit_ip,
+        raw.claimed_country,
+        raw.provider,
+        raw.qname,
+        raw.t_a,
+        raw.t_b,
+        raw.t_c,
+        raw.t_d,
+        _headers_to_json(raw.headers),
+        raw.tls_version,
+        raw.run_index,
+        raw.success,
+        raw.error,
+    ]
+
+
+def doh_from_json(data: List) -> DohRaw:
+    """Rebuild the :class:`DohRaw` a :func:`doh_to_json` array encodes."""
+    return DohRaw(
+        node_id=data[0],
+        exit_ip=data[1],
+        claimed_country=data[2],
+        provider=data[3],
+        qname=data[4],
+        t_a=data[5],
+        t_b=data[6],
+        t_c=data[7],
+        t_d=data[8],
+        headers=_headers_from_json(data[9]),
+        tls_version=data[10],
+        run_index=data[11],
+        success=data[12],
+        error=data[13],
+    )
+
+
+def do53_to_json(raw: Do53Raw) -> List:
+    """Serialise one raw Do53 measurement as a positional array."""
+    return [
+        raw.node_id,
+        raw.exit_ip,
+        raw.claimed_country,
+        raw.qname,
+        raw.dns_ms,
+        _headers_to_json(raw.headers),
+        raw.resolved_at,
+        raw.run_index,
+        raw.success,
+        raw.error,
+    ]
+
+
+def do53_from_json(data: List) -> Do53Raw:
+    """Rebuild the :class:`Do53Raw` a :func:`do53_to_json` array encodes."""
+    return Do53Raw(
+        node_id=data[0],
+        exit_ip=data[1],
+        claimed_country=data[2],
+        qname=data[3],
+        dns_ms=data[4],
+        headers=_headers_from_json(data[5]),
+        resolved_at=data[6],
+        run_index=data[7],
+        success=data[8],
+        error=data[9],
+    )
+
+
+def failure_to_json(failure: NodeFailure) -> List:
+    """Serialise one :class:`NodeFailure` as a positional array."""
+    return [failure.node_id, failure.error, failure.attempts]
+
+
+def failure_from_json(data: List) -> NodeFailure:
+    """Rebuild the :class:`NodeFailure` a :func:`failure_to_json` array
+    encodes."""
+    return NodeFailure(node_id=data[0], error=data[1], attempts=data[2])

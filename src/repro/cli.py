@@ -7,13 +7,19 @@ Commands:
 * ``analyze``     — regenerate a paper artifact from a saved dataset;
 * ``groundtruth`` — run the §4 validation experiments (Tables 1–2);
 * ``info``        — describe what a configuration would build;
-* ``trace``       — inspect recorded phase traces (``--observe`` runs).
+* ``trace``       — inspect recorded phase traces (``--observe`` runs);
+* ``ckpt``        — inspect, verify, prune, and extend campaign
+  checkpoints (``status``/``verify``/``gc``/``extend``).
 
 Examples::
 
     python -m repro campaign --scale 0.05 --out dataset.json
     python -m repro campaign --scale 1.0 --workers 4 --out dataset.json
     python -m repro campaign --scale 0.05 --observe --out dataset.json
+    python -m repro campaign --scale 0.2 --checkpoint-dir ckpt/ --resume
+    python -m repro ckpt status ckpt/
+    python -m repro ckpt extend ckpt/ --dataset dataset.json \
+        --provider adguard --out extended.json
     python -m repro analyze dataset.json --artifact headlines
     python -m repro analyze dataset.json --artifact phases
     python -m repro trace dataset.traces.json --node AD-0000
@@ -87,6 +93,57 @@ def _build_parser() -> argparse.ArgumentParser:
                                "<out>.traces.json next to the dataset "
                                "(never changes the dataset itself, see "
                                "docs/observability.md)")
+    campaign.add_argument("--checkpoint-dir", default=None,
+                          help="journal every batch to this directory so "
+                               "a killed run can be resumed byte-"
+                               "identically (see docs/checkpointing.md)")
+    campaign.add_argument("--resume", nargs="?", const="auto",
+                          choices=("never", "auto", "force"),
+                          default="never",
+                          help="resume an interrupted checkpoint: bare "
+                               "--resume (= auto) continues it after a "
+                               "fingerprint check; --resume=force "
+                               "discards it and starts fresh")
+
+    ckpt = sub.add_parser(
+        "ckpt", help="inspect, verify, prune, and extend checkpoints"
+    )
+    cksub = ckpt.add_subparsers(dest="ckpt_command", required=True)
+    ck_status = cksub.add_parser(
+        "status", help="describe a checkpoint directory"
+    )
+    ck_status.add_argument("dir", help="checkpoint directory")
+    ck_verify = cksub.add_parser(
+        "verify", help="checksum-verify every ledger and result blob"
+    )
+    ck_verify.add_argument("dir", help="checkpoint directory")
+    ck_gc = cksub.add_parser(
+        "gc", help="prune temp files, stale units, and redundant state"
+    )
+    ck_gc.add_argument("dir", help="checkpoint directory")
+    ck_extend = cksub.add_parser(
+        "extend",
+        help="grow a finished campaign: measure only the delta and "
+             "merge it into an existing dataset",
+    )
+    ck_extend.add_argument("dir", help="base checkpoint directory")
+    ck_extend.add_argument("--dataset", required=True,
+                           help="the base campaign's dataset JSON")
+    ck_extend.add_argument("--out", required=True,
+                           help="write the merged dataset JSON here")
+    ck_extend.add_argument("--provider", action="append", default=[],
+                           help="add this provider across the whole "
+                                "fleet (repeatable)")
+    ck_extend.add_argument("--extra-runs", type=int, default=0,
+                           help="measure this many additional runs per "
+                                "client")
+    ck_extend.add_argument("--scale", type=float, default=None,
+                           help="grow the fleet to this scale, measuring "
+                                "only the new nodes")
+    ck_extend.add_argument("--resume", nargs="?", const="auto",
+                           choices=("auto", "force"), default="auto",
+                           help="auto (default) reuses a finished or "
+                                "interrupted delta; force re-measures it")
 
     analyze = sub.add_parser(
         "analyze", help="regenerate a paper artifact from a dataset"
@@ -122,6 +179,86 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _serial_batches(config) -> int:
+    """Batches the serial campaign runs (fleet size is plan-derived)."""
+    from repro.core.plan import WorldPlan
+
+    total = sum(WorldPlan.for_config(config).counts.values())
+    batch = max(1, config.batch_size)
+    return (total + batch - 1) // batch
+
+
+def _run_serial_campaign(args, config):
+    """The workers=1 campaign path, optionally checkpointed."""
+    from repro.obs import Observability
+
+    checkpoint = None
+    if args.checkpoint_dir:
+        from repro.ckpt import CampaignCheckpoint
+
+        checkpoint = CampaignCheckpoint.open(
+            args.checkpoint_dir,
+            config,
+            execution={
+                "mode": "serial",
+                "atlas_probes_per_country": args.atlas_probes,
+                "observe": bool(args.observe),
+            },
+            resume=args.resume,
+        )
+        cached = checkpoint.load_result("serial")
+        if cached is not None:
+            print("checkpoint {} already holds the finished campaign; "
+                  "replaying it".format(args.checkpoint_dir))
+            batches = _serial_batches(config)
+            checkpoint.record_run({"workers": 1, "units": [{
+                "role": "serial", "batches_replayed": batches,
+                "batches_measured": 0}]})
+            checkpoint.mark_complete()
+            return cached
+
+    print("building world (scale={}, seed={})...".format(
+        args.scale, args.seed))
+    world = build_world(config)
+    print("  {} hosts, {} exit nodes".format(
+        len(world.network), len(world.nodes())))
+    print("running campaign...")
+    campaign = Campaign(
+        world,
+        atlas_probes_per_country=args.atlas_probes,
+        obs=Observability() if args.observe else None,
+    )
+    if checkpoint is None:
+        return campaign.run()
+    measure = checkpoint.measure_checkpoint("serial")
+    try:
+        result = campaign.run(checkpoint=measure)
+    finally:
+        measure.close()
+    checkpoint.store_result("serial", result)
+    batches = _serial_batches(config)
+    checkpoint.record_run({"workers": 1, "units": [{
+        "role": "serial",
+        "batches_replayed": measure.resumed_batches,
+        "batches_measured": batches - measure.resumed_batches}]})
+    checkpoint.mark_complete()
+    return result
+
+
+def _checkpoint_summary(directory):
+    """Manifest-embeddable provenance of a checkpoint directory."""
+    from repro.ckpt import CampaignCheckpoint
+
+    checkpoint = CampaignCheckpoint.load(directory)
+    return {
+        "directory": directory,
+        "fingerprint": checkpoint.fingerprint,
+        "status": checkpoint.manifest.get("status"),
+        "runs": checkpoint.manifest.get("runs", []),
+        "lineage": checkpoint.manifest.get("lineage", []),
+    }
+
+
 def _cmd_campaign(args) -> int:
     faults = None
     if args.fault_preset:
@@ -152,21 +289,11 @@ def _cmd_campaign(args) -> int:
             shard_timeout_s=args.shard_timeout,
             max_shard_retries=args.shard_retries,
             observe=args.observe,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
     else:
-        from repro.obs import Observability
-
-        print("building world (scale={}, seed={})...".format(
-            args.scale, args.seed))
-        world = build_world(config)
-        print("  {} hosts, {} exit nodes".format(
-            len(world.network), len(world.nodes())))
-        print("running campaign...")
-        result = Campaign(
-            world,
-            atlas_probes_per_country=args.atlas_probes,
-            obs=Observability() if args.observe else None,
-        ).run()
+        result = _run_serial_campaign(args, config)
     dataset = result.dataset
     print("  " + dataset.summary())
     print("  discard rate {:.2%}".format(result.discard_rate))
@@ -198,6 +325,10 @@ def _cmd_campaign(args) -> int:
             phases=phases,
             command="campaign --scale {} --seed {} --workers {}".format(
                 args.scale, args.seed, args.workers),
+            checkpoint=(
+                _checkpoint_summary(args.checkpoint_dir)
+                if args.checkpoint_dir else None
+            ),
         )
         manifest_path = sidecar_path(args.out, "manifest")
         write_manifest(manifest_path, manifest)
@@ -391,6 +522,195 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_ckpt(args) -> int:
+    handlers = {
+        "status": _ckpt_status,
+        "verify": _ckpt_verify,
+        "gc": _ckpt_gc,
+        "extend": _ckpt_extend,
+    }
+    return handlers[args.ckpt_command](args)
+
+
+def _ckpt_status(args) -> int:
+    import os
+
+    from repro.ckpt import CampaignCheckpoint
+
+    checkpoint = CampaignCheckpoint.load(args.dir)
+    manifest = checkpoint.manifest
+    print("checkpoint:   {}".format(args.dir))
+    print("fingerprint:  {}".format(checkpoint.fingerprint))
+    print("status:       {}".format(manifest.get("status")))
+    execution = manifest.get("execution", {})
+    if execution:
+        print("execution:    " + ", ".join(
+            "{}={}".format(key, execution[key])
+            for key in sorted(execution)))
+    for index, run in enumerate(manifest.get("runs", [])):
+        units = run.get("units", [])
+        print("run {}: {}".format(index, ", ".join(
+            "{} (replayed {}, measured {})".format(
+                unit.get("role"), unit.get("batches_replayed"),
+                unit.get("batches_measured"))
+            for unit in units) or "(no units recorded)"))
+    for entry in manifest.get("lineage", []):
+        print("extension {}: kind={} measured={} doh+{} do53+{} "
+              "clients+{}".format(
+                  entry.get("extension"), entry.get("kind"),
+                  entry.get("batches_measured"), entry.get("doh_added"),
+                  entry.get("do53_added"), entry.get("clients_added")))
+    for name in sorted(os.listdir(args.dir)):
+        path = os.path.join(args.dir, name)
+        if name.endswith((".ledger", ".state", ".result")):
+            print("  {:<24} {:>10} bytes".format(
+                name, os.path.getsize(path)))
+        elif os.path.isdir(path) and name.startswith("ext-"):
+            print("  {:<24} (nested extension checkpoint)".format(
+                name + "/"))
+    return 0
+
+
+def _ckpt_verify(args) -> int:
+    import os
+
+    from repro.ckpt import CampaignCheckpoint
+    from repro.ckpt.checkpoint import load_unit_result
+    from repro.ckpt.ledger import CheckpointCorruptionError, read_ledger
+
+    checkpoint = CampaignCheckpoint.load(args.dir)
+    problems = []
+    for name in sorted(os.listdir(args.dir)):
+        path = os.path.join(args.dir, name)
+        if name.endswith(".ledger"):
+            role = name[: -len(".ledger")]
+            try:
+                load = read_ledger(path)
+            except CheckpointCorruptionError as exc:
+                problems.append("{}: {}".format(name, exc))
+                continue
+            header = load.header.payload if load.header else {}
+            if header.get("fingerprint") != checkpoint.fingerprint:
+                problems.append(
+                    "{}: fingerprint {} does not match the manifest's "
+                    "{}".format(name, header.get("fingerprint"),
+                                checkpoint.fingerprint))
+            batches = sum(
+                1 for record in load.records if record.kind == "batch")
+            done = any(record.kind == "done" for record in load.records)
+            note = " [torn tail dropped]" if load.dropped_tail else ""
+            print("  {:<24} {} batch record(s), {}{}".format(
+                name, batches, "complete" if done else "in progress",
+                note))
+        elif name.endswith(".result"):
+            role = name[: -len(".result")]
+            if load_unit_result(
+                path, checkpoint.fingerprint, role
+            ) is None:
+                problems.append(
+                    "{}: unreadable or stale result blob".format(name))
+            else:
+                print("  {:<24} result blob ok".format(name))
+    if problems:
+        for problem in problems:
+            print("PROBLEM: {}".format(problem))
+        return 1
+    print("checkpoint {} verified: every ledger checksums clean and "
+          "matches fingerprint {}".format(
+              args.dir, checkpoint.fingerprint[:12]))
+    return 0
+
+
+def _ckpt_gc(args) -> int:
+    import os
+
+    from repro.ckpt import CampaignCheckpoint
+    from repro.ckpt.checkpoint import load_unit_result
+    from repro.ckpt.ledger import CheckpointCorruptionError, read_ledger
+
+    checkpoint = CampaignCheckpoint.load(args.dir)
+    reclaimed = 0
+    removed = []
+
+    def remove(path):
+        nonlocal reclaimed
+        reclaimed += os.path.getsize(path)
+        os.remove(path)
+        removed.append(os.path.basename(path))
+
+    complete_roles = set()
+    for name in sorted(os.listdir(args.dir)):
+        path = os.path.join(args.dir, name)
+        if not os.path.isfile(path):
+            continue
+        if name.endswith(".tmp"):
+            remove(path)
+        elif name.endswith(".ledger"):
+            try:
+                load = read_ledger(path)
+            except CheckpointCorruptionError:
+                continue  # never auto-delete data; see 'ckpt verify'
+            header = load.header.payload if load.header else {}
+            if header.get("fingerprint") != checkpoint.fingerprint:
+                remove(path)
+            elif any(r.kind == "done" for r in load.records):
+                complete_roles.add(name[: -len(".ledger")])
+        elif name.endswith(".result"):
+            role = name[: -len(".result")]
+            if load_unit_result(
+                path, checkpoint.fingerprint, role
+            ) is None:
+                remove(path)
+    # State blobs of finished units are redundant: the ledger holds the
+    # samples and the result blob holds the outcome.
+    for role in sorted(complete_roles):
+        state = os.path.join(args.dir, role + ".state")
+        result = os.path.join(args.dir, role + ".result")
+        if os.path.exists(state) and os.path.exists(result):
+            remove(state)
+    print("removed {} file(s), reclaimed {} bytes".format(
+        len(removed), reclaimed))
+    for name in removed:
+        print("  {}".format(name))
+    return 0
+
+
+def _ckpt_extend(args) -> int:
+    from repro.ckpt.extend import extend_campaign
+    from repro.obs.manifest import (
+        build_manifest, sidecar_path, write_manifest,
+    )
+
+    dataset = Dataset.load(args.dataset)
+    result = extend_campaign(
+        args.dir,
+        dataset,
+        providers=args.provider,
+        extra_runs=args.extra_runs,
+        scale=args.scale,
+        resume=args.resume,
+    )
+    print("extension {} ({}): replayed {} batch(es), measured {}".format(
+        result.extension_id, result.kind, result.batches_replayed,
+        result.batches_measured))
+    print("  +{} DoH sample(s), +{} Do53 sample(s), +{} client(s)".format(
+        result.doh_added, result.do53_added, result.clients_added))
+    print("  " + result.dataset.summary())
+    result.dataset.save(args.out)
+    print("merged dataset written to {}".format(args.out))
+    manifest = build_manifest(
+        result.config,
+        dataset=result.dataset,
+        dataset_path=args.out,
+        command="ckpt extend {}".format(args.dir),
+        checkpoint=_checkpoint_summary(args.dir),
+    )
+    manifest_path = sidecar_path(args.out, "manifest")
+    write_manifest(manifest_path, manifest)
+    print("manifest written to {}".format(manifest_path))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse *argv* and dispatch to a subcommand; returns exit code."""
     args = _build_parser().parse_args(argv)
@@ -400,6 +720,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "groundtruth": _cmd_groundtruth,
         "info": _cmd_info,
         "trace": _cmd_trace,
+        "ckpt": _cmd_ckpt,
     }
     return handlers[args.command](args)
 

@@ -21,6 +21,7 @@ Measurements for different clients run concurrently in simulation
 from __future__ import annotations
 
 import gc
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -34,6 +35,7 @@ from repro.core.world import World
 from repro.dataset.builder import DatasetBuilder
 from repro.dataset.store import Dataset
 from repro.doh.provider import PROVIDER_CONFIGS
+from repro.faults.plan import WORKER_CRASH_EXIT
 from repro.geo.countries import COUNTRIES, SUPER_PROXY_COUNTRIES
 from repro.netsim.engine import SimulationError
 from repro.obs import Observability
@@ -103,6 +105,10 @@ class Campaign:
         client_name_tag: str = "",
         max_node_retries: int = 1,
         obs: Optional[Observability] = None,
+        provider_filter: Optional[Sequence[str]] = None,
+        run_index_offset: int = 0,
+        include_do53: bool = True,
+        shard_index: Optional[int] = None,
     ) -> None:
         """*client_seed*/*client_name_tag* isolate the measurement
         client's RNG stream and query-name namespace; the sharded
@@ -118,6 +124,16 @@ class Campaign:
         phase trace per measurement and the campaign scrapes metrics.
         Observation is read-only — the produced records and dataset are
         byte-identical with or without it.
+
+        *provider_filter*/*run_index_offset*/*include_do53* exist for
+        incremental campaigns (``repro ckpt extend``): the first
+        restricts the per-node plan to a subset of the world's
+        providers, the second shifts the recorded ``run_index`` so
+        delta runs merge after the base checkpoint's runs, and the
+        third skips the per-run Do53 measurement (a provider-only
+        delta must not duplicate the base campaign's Do53 samples).
+        *shard_index* identifies this campaign to the ``worker_crash``
+        fault (None for the serial campaign).
         """
         self.world = world
         self.atlas_probes_per_country = atlas_probes_per_country
@@ -139,9 +155,24 @@ class Campaign:
         # Hot-path lookups hoisted out of the 22k-iteration node loop:
         # the provider list is per-config constant and the super-proxy
         # choice only depends on the (per-country) profile location.
+        provider_names = list(world.config.providers)
+        if provider_filter is not None:
+            wanted = set(provider_filter)
+            unknown = wanted - set(provider_names)
+            if unknown:
+                raise ValueError(
+                    "provider_filter names providers not in the world: "
+                    "{}".format(sorted(unknown))
+                )
+            provider_names = [
+                name for name in provider_names if name in wanted
+            ]
         self._providers = [
-            PROVIDER_CONFIGS[name] for name in world.config.providers
+            PROVIDER_CONFIGS[name] for name in provider_names
         ]
+        self.run_index_offset = run_index_offset
+        self.include_do53 = include_do53
+        self.shard_index = shard_index
         self._super_proxy_by_country: Dict[str, object] = {}
 
     # -- per-node measurement plan -------------------------------------------
@@ -170,6 +201,7 @@ class Campaign:
         country = node.claimed_country
         super_proxy = self._super_proxy_for(node)
         providers = self._providers
+        offset = self.run_index_offset
         for run_index in range(world.config.runs_per_client):
             for provider in providers:
                 raw = yield from self.client.measure_doh(
@@ -177,14 +209,16 @@ class Campaign:
                     provider,
                     country,
                     node_id=node.node_id,
-                    run_index=run_index,
+                    run_index=run_index + offset,
                 )
                 sink_doh.append(raw)
+            if not self.include_do53:
+                continue
             raw53 = yield from self.client.measure_do53(
                 super_proxy,
                 country,
                 node_id=node.node_id,
-                run_index=run_index,
+                run_index=run_index + offset,
             )
             sink_do53.append(raw53)
 
@@ -232,12 +266,21 @@ class Campaign:
         self,
         nodes: Optional[Sequence[ExitNode]] = None,
         progress=None,
+        checkpoint=None,
     ) -> Tuple[List[DohRaw], List[Do53Raw]]:
         """Run the batched measurement phase only; returns raw records.
 
         This is the half of :meth:`run` the sharded executor runs in
         worker processes — everything after it (validation, dataset
         build, Atlas) happens on merged records in the parent.
+
+        *checkpoint*, if given, is a
+        :class:`~repro.ckpt.checkpoint.MeasureCheckpoint`: every
+        committed batch is journalled (samples to the ledger, world
+        state to the state blob), and a later call with the same
+        checkpoint replays the journal, restores the world, and
+        measures only the remaining batches — producing byte-identical
+        records (see docs/checkpointing.md).
         """
         world = self.world
         sim = world.sim
@@ -246,6 +289,24 @@ class Campaign:
         raw_doh: List[DohRaw] = []
         raw_do53: List[Do53Raw] = []
         self.failures = []
+
+        resume_batches = 0
+        if checkpoint is not None:
+            resumed = checkpoint.prepare(self)
+            resume_batches = resumed.batches_done
+            raw_doh.extend(resumed.doh)
+            raw_do53.extend(resumed.do53)
+            self.failures.extend(resumed.failures)
+            if self.obs is not None:
+                metrics = self.obs.metrics
+                prefix = "ckpt.{}.".format(checkpoint.role)
+                # Gauges, not counters: resume bookkeeping must never
+                # break metrics byte-identity between a resumed and an
+                # uninterrupted run (determinism checks ignore gauges).
+                metrics.set_gauge(prefix + "batches_replayed",
+                                  float(resume_batches))
+                metrics.set_gauge(prefix + "samples_replayed",
+                                  float(resumed.samples_replayed))
 
         batch_size = max(1, world.config.batch_size)
         # The measurement loop allocates millions of short-lived objects
@@ -258,12 +319,31 @@ class Campaign:
         # are byte-identical with collection at any cadence; memory
         # stays bounded because each batch ends with an empty event
         # queue and one collection pass over that batch's garbage.
+        injector = world.fault_injector
+        num_batches = (len(nodes) + batch_size - 1) // batch_size
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
         try:
-            for start in range(0, len(nodes), batch_size):
+            for batch_index in range(num_batches):
+                start = batch_index * batch_size
+                done_nodes = min(start + batch_size, len(nodes))
+                if batch_index < resume_batches:
+                    # Replayed from the ledger; the restored world state
+                    # already reflects having measured this batch.
+                    if progress is not None:
+                        progress(done_nodes, len(nodes))
+                    continue
+                if injector is not None and injector.worker_crash_due(
+                    self.shard_index, batch_index, resume_batches
+                ):
+                    # Preemption drill: die exactly like the OOM killer
+                    # would — no cleanup, no commit of this batch.
+                    os._exit(WORKER_CRASH_EXIT)
                 batch = nodes[start:start + batch_size]
+                doh_before = len(raw_doh)
+                do53_before = len(raw_do53)
+                failures_before = len(self.failures)
                 processes = [
                     sim.spawn(
                         self._guarded_node_task(node, raw_doh, raw_do53),
@@ -292,11 +372,27 @@ class Campaign:
                 world.network.forget_flow_state()
                 if gc_was_enabled:
                     gc.collect(0)
+                if checkpoint is not None:
+                    checkpoint.commit_batch(
+                        self,
+                        batch_index,
+                        raw_doh[doh_before:],
+                        raw_do53[do53_before:],
+                        self.failures[failures_before:],
+                        force=batch_index == num_batches - 1,
+                    )
                 if progress is not None:
-                    progress(min(start + batch_size, len(nodes)), len(nodes))
+                    progress(done_nodes, len(nodes))
         finally:
             if gc_was_enabled:
                 gc.enable()
+        if checkpoint is not None:
+            checkpoint.finish(self)
+            if self.obs is not None:
+                self.obs.metrics.set_gauge(
+                    "ckpt.{}.batches_measured".format(checkpoint.role),
+                    float(num_batches - resume_batches),
+                )
         if self.obs is not None:
             self._observe_measurements(raw_doh, raw_do53)
         return raw_doh, raw_do53
@@ -334,16 +430,21 @@ class Campaign:
         self,
         nodes: Optional[Sequence[ExitNode]] = None,
         progress=None,
+        checkpoint=None,
     ) -> CampaignResult:
         """Execute the campaign; returns the processed dataset.
 
         *progress*, if given, is called as ``progress(done, total)``
         after every batch (long full-scale runs print from it).
+        *checkpoint* makes the measurement phase resumable (see
+        :meth:`measure`); the post-measurement phases (validation,
+        dataset build, Atlas) are recomputed deterministically from the
+        replayed records and restored world on every resume.
         """
         world = self.world
         if nodes is None:
             nodes = world.nodes()
-        raw_doh, raw_do53 = self.measure(nodes, progress)
+        raw_doh, raw_do53 = self.measure(nodes, progress, checkpoint)
 
         # -- Maxmind validation (discard label mismatches) -----------------
         kept_doh, dropped_doh = filter_mismatched(raw_doh, world.geolocation)

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dataset.records import ClientRecord, Do53Sample, DohSample
+from repro.ioutil import atomic_write_json
 
 __all__ = ["Dataset"]
 
@@ -118,6 +119,28 @@ class Dataset:
             {sample.country for sample in self.successful_doh(provider)}
         )
 
+    # -- incremental merge -------------------------------------------------
+
+    def merge(self, delta: "Dataset") -> "Dataset":
+        """A new dataset holding this one plus *delta*'s samples.
+
+        The merge rule for incremental campaigns (``repro ckpt
+        extend``): base records keep their exact order and bytes, delta
+        records are appended after them, and clients already registered
+        in the base keep their base row (a node re-measured by a delta
+        is the same client).  Merging the same delta onto the same base
+        therefore always produces the same bytes, and merging an empty
+        delta reproduces the base exactly.
+        """
+        known = {client.node_id for client in self.clients}
+        return Dataset(
+            clients=list(self.clients)
+            + [c for c in delta.clients if c.node_id not in known],
+            doh=list(self.doh) + list(delta.doh),
+            do53=list(self.do53) + list(delta.do53),
+            min_clients_per_country=self.min_clients_per_country,
+        )
+
     # -- serialisation -----------------------------------------------------------
 
     def to_json(self) -> Dict:
@@ -139,9 +162,9 @@ class Dataset:
         )
 
     def save(self, path: str) -> None:
-        """Write the dataset as JSON to *path*."""
-        with open(path, "w") as handle:
-            json.dump(self.to_json(), handle)
+        """Write the dataset as JSON to *path* (atomically: a kill
+        mid-save never leaves a truncated dataset behind)."""
+        atomic_write_json(path, self.to_json())
 
     @classmethod
     def load(cls, path: str) -> "Dataset":

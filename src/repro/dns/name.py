@@ -47,6 +47,12 @@ class DomainName:
     def __setattr__(self, *args: object) -> None:  # immutable
         raise AttributeError("DomainName is immutable")
 
+    def __reduce__(self):
+        # Default pickling restores state through __setattr__, which
+        # the immutability guard rejects; rebuild via the constructor
+        # instead (checkpoint state blobs pickle resolver caches).
+        return (DomainName, (self.labels,))
+
     @staticmethod
     def _parse(text: str) -> Tuple[str, ...]:
         text = text.strip()

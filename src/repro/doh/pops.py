@@ -143,15 +143,44 @@ _QUAD9_EXCLUDE = frozenset(
 )
 QUAD9_POPS: Tuple[str, ...] = tuple(sorted(_ALL - _QUAD9_EXCLUDE))
 
+# --- AdGuard: a 30-hub footprint, the follow-up provider -----------------
+# Not one of the paper's four measured services; it exists so incremental
+# campaigns (``repro ckpt extend --provider adguard``) have a realistic
+# fifth provider to grow into, mirroring the resolver sets of the
+# follow-up studies (Hounsel et al.).  Hub-only deployment, one African
+# site.
+ADGUARD_POPS: Tuple[str, ...] = tuple(
+    sorted(
+        {
+            # North America (9)
+            "ashburn", "newyork", "chicago", "dallas", "losangeles",
+            "seattle", "miami", "toronto", "mexicocity",
+            # Europe (9)
+            "london", "frankfurt", "paris", "amsterdam", "warsaw",
+            "stockholm", "moscow", "milan", "madrid",
+            # Asia + Middle East (7)
+            "tokyo", "seoul", "singaporecity", "hongkongcity", "mumbai",
+            "dubai", "istanbul",
+            # Rest of world (5)
+            "johannesburg", "saopaulo", "buenosaires", "sydney",
+            "auckland",
+        }
+    )
+)
+
 #: PoP city keys per provider.
 PROVIDER_POPS: Dict[str, Tuple[str, ...]] = {
     "cloudflare": CLOUDFLARE_POPS,
     "google": GOOGLE_POPS,
     "nextdns": NEXTDNS_POPS,
     "quad9": QUAD9_POPS,
+    "adguard": ADGUARD_POPS,
 }
 
-_EXPECTED_COUNTS = {"cloudflare": 146, "google": 26, "nextdns": 107, "quad9": 152}
+_EXPECTED_COUNTS = {
+    "cloudflare": 146, "google": 26, "nextdns": 107, "quad9": 152,
+    "adguard": 30,
+}
 for _name, _expected in _EXPECTED_COUNTS.items():
     _actual = len(PROVIDER_POPS[_name])
     if _actual != _expected:  # pragma: no cover - data sanity

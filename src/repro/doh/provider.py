@@ -170,6 +170,25 @@ PROVIDER_CONFIGS: Dict[str, ProviderConfig] = {
         backend_ms=16.0,
         tls_crypto_ms=1.2,
     ),
+    # Not in the paper's measured set; the fifth provider that
+    # incremental campaigns (``repro ckpt extend --provider adguard``)
+    # grow into.  Hub-only anycast between Google's and NextDNS's
+    # quality, modest processing budget.
+    "adguard": ProviderConfig(
+        name="adguard",
+        display_name="AdGuard",
+        domain="dns.adguard.com",
+        vip="10.53.0.5",
+        pop_city_keys=PROVIDER_POPS["adguard"],
+        anycast=AnycastPolicy(
+            nearest_prob=0.60, far_prob=0.05,
+            neighborhood_size=5, neighborhood_decay=0.55,
+        ),
+        backbone_stretch=1.80,
+        frontend_ms=2.0,
+        backend_ms=20.0,
+        tls_crypto_ms=1.5,
+    ),
 }
 
 

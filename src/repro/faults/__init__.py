@@ -26,6 +26,7 @@ from repro.faults.plan import (
     NodeChurn,
     ProviderOutage,
     SuperProxyOverload,
+    WorkerCrash,
 )
 
 __all__ = [
@@ -37,4 +38,5 @@ __all__ = [
     "NodeChurn",
     "ProviderOutage",
     "SuperProxyOverload",
+    "WorkerCrash",
 ]

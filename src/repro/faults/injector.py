@@ -156,3 +156,28 @@ class FaultInjector:
         if spec is None:
             return None
         return GilbertElliottChain(spec, self._rng("ge-loss"))
+
+    # -- worker crash (preemption drill) -------------------------------------
+
+    def worker_crash_due(
+        self,
+        shard_index: Optional[int],
+        batch_index: int,
+        resumed_from: int,
+    ) -> bool:
+        """Whether the measuring process should die before this batch.
+
+        Pure plan lookup, no RNG: the crash point is part of the
+        experiment definition.  Fires only on fresh starts
+        (``resumed_from == 0``) so a resumed campaign recovers instead
+        of crash-looping; see :class:`~repro.faults.plan.WorkerCrash`.
+        """
+        spec = self.plan.worker_crash
+        if spec is None or resumed_from > 0:
+            return False
+        if spec.shard_index is not None and spec.shard_index != shard_index:
+            return False
+        # Deliberately not counted in ``activations``: the process dies
+        # on the spot, and a surviving (resumed) run must scrape metrics
+        # byte-identical to a run that never crashed.
+        return batch_index == spec.after_batches

@@ -20,9 +20,15 @@ __all__ = [
     "NodeChurn",
     "ProviderOutage",
     "SuperProxyOverload",
+    "WorkerCrash",
+    "WORKER_CRASH_EXIT",
 ]
 
 _INF = float("inf")
+
+#: Exit status a deliberately crashed process dies with (distinguishes
+#: the ``worker_crash`` drill from real crashes in tests and CI).
+WORKER_CRASH_EXIT = 57
 
 
 @dataclass(frozen=True)
@@ -144,6 +150,36 @@ class GilbertElliottLoss:
 
 
 @dataclass(frozen=True)
+class WorkerCrash:
+    """Hard-kill the measuring process mid-campaign (preemption drill).
+
+    Unlike every other fault this one never touches the simulation: it
+    kills the *process* (``os._exit``) right before the batch with
+    index ``after_batches`` starts, exactly like the OOM killer or a
+    spot-instance preemption would.  Measured timings are therefore
+    byte-identical with or without it — what it exercises is the
+    checkpoint/resume machinery (``repro.ckpt``) and the executor's
+    crashed-worker retry path.
+
+    The crash fires only on a **fresh** start (a run that begins at
+    batch 0); a resumed run sails past the crash point, which is what
+    makes recovery testable and terminating.  ``shard_index`` narrows
+    the blast to one shard of the parallel executor (``None`` crashes
+    the serial campaign and every shard alike).
+    """
+
+    after_batches: int = 1
+    shard_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.after_batches < 1:
+            raise ValueError(
+                "after_batches must be >= 1 (a crash before any batch "
+                "commits would just crash again on resume)"
+            )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """The full fault schedule for one campaign.
 
@@ -158,6 +194,9 @@ class FaultPlan:
     provider_outages: Tuple[ProviderOutage, ...] = ()
     superproxy_overload: Optional[SuperProxyOverload] = None
     bursty_loss: Optional[GilbertElliottLoss] = None
+    #: Process-level preemption drill (see :class:`WorkerCrash`); never
+    #: perturbs measurements, only kills the measuring process.
+    worker_crash: Optional[WorkerCrash] = None
 
     def __post_init__(self) -> None:
         seen = set()

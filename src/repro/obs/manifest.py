@@ -16,6 +16,8 @@ import os
 import time
 from typing import Dict, Optional
 
+from repro.ioutil import atomic_write_json
+
 __all__ = [
     "build_manifest",
     "config_hash",
@@ -55,6 +57,7 @@ def build_manifest(
     metrics: Optional[Dict] = None,
     phases: Optional[Dict] = None,
     command: str = "",
+    checkpoint: Optional[Dict] = None,
 ) -> Dict:
     """Assemble the manifest dict for one finished campaign.
 
@@ -62,6 +65,11 @@ def build_manifest(
     per-provider phase aggregate from
     :func:`repro.analysis.phases.phase_summary`.  Both are None when
     observability was off — the manifest still records provenance.
+
+    *checkpoint*, for checkpointed runs, records resume provenance: the
+    checkpoint directory and fingerprint, the per-run resume counters
+    (batches replayed from the ledger vs measured live), and the
+    extension lineage (see :mod:`repro.ckpt`).  None for plain runs.
     """
     from repro import __version__  # local import: repro imports core
 
@@ -85,6 +93,7 @@ def build_manifest(
         },
         "metrics": metrics,
         "phases": phases,
+        "checkpoint": checkpoint,
     }
     if dataset is not None:
         manifest["dataset"] = {
@@ -98,8 +107,11 @@ def build_manifest(
 
 
 def write_manifest(path: str, manifest: Dict) -> str:
-    """Write *manifest* as sorted, indented JSON; returns *path*."""
-    with open(path, "w") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    """Write *manifest* as sorted, indented JSON; returns *path*.
+
+    The write is atomic (tmp + rename) so a kill mid-save never leaves
+    a truncated sidecar next to a good dataset.
+    """
+    return atomic_write_json(
+        path, manifest, indent=2, sort_keys=True, trailing_newline=True
+    )

@@ -29,6 +29,8 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.ioutil import atomic_write_json
+
 __all__ = [
     "DO53_PROVIDER_KEY",
     "PhaseEvent",
@@ -247,9 +249,8 @@ class TraceRecorder:
         return recorder
 
     def save(self, path: str) -> None:
-        """Write all traces as JSON to *path*."""
-        with open(path, "w") as handle:
-            json.dump({"traces": self.snapshot()}, handle)
+        """Write all traces as JSON to *path* (atomic replace)."""
+        atomic_write_json(path, {"traces": self.snapshot()})
 
     @classmethod
     def load(cls, path: str) -> "TraceRecorder":

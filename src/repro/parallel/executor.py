@@ -42,6 +42,7 @@ from concurrent.futures import (
 )
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.ckpt.checkpoint import CampaignCheckpoint
 from repro.core.campaign import AtlasRawSample, CampaignResult
 from repro.core.config import ReproConfig
 from repro.core.plan import WorldPlan
@@ -191,6 +192,8 @@ def run_parallel_campaign(
     shard_timeout_s: Optional[float] = None,
     max_shard_retries: int = 2,
     observe: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    resume: str = "never",
 ) -> CampaignResult:
     """Run the full campaign across *workers* processes.
 
@@ -212,6 +215,12 @@ def run_parallel_campaign(
     *observe* runs every shard with the observability layer on; the
     merged result then carries summed counters, merged histograms and
     all shard traces.  The dataset stays byte-identical either way.
+
+    *checkpoint_dir* makes the run crash-safe (see :mod:`repro.ckpt`):
+    every shard journals its batches there, completed units persist
+    ``<role>.result`` blobs, and a rerun with *resume* ``"auto"``
+    skips finished units, resumes interrupted ones from their ledger,
+    and produces a dataset byte-identical to an uninterrupted run.
     """
     if workers is None:
         workers = default_worker_count()
@@ -226,9 +235,33 @@ def run_parallel_campaign(
     # once here instead of once per worker process.
     plan = WorldPlan.for_config(config)
 
+    checkpoint: Optional[CampaignCheckpoint] = None
+    fingerprint = ""
+    if checkpoint_dir is not None:
+        # The execution shape is part of the fingerprint: resuming
+        # under a different partition (or Atlas supplement) would
+        # splice records from two different experiment definitions.
+        checkpoint = CampaignCheckpoint.open(
+            checkpoint_dir,
+            config,
+            execution={
+                "mode": "parallel",
+                "num_shards": num_shards,
+                "max_nodes": max_nodes,
+                "atlas_probes_per_country": atlas_probes_per_country,
+                "atlas_repetitions": atlas_repetitions,
+                "observe": observe,
+            },
+            resume=resume,
+        )
+        fingerprint = checkpoint.fingerprint
+
     specs = make_shards(num_shards, max_nodes=max_nodes)
     shard_tasks = [
-        ShardTask(config, spec, observe=observe, plan=plan)
+        ShardTask(
+            config, spec, observe=observe, plan=plan,
+            checkpoint_dir=checkpoint_dir, fingerprint=fingerprint,
+        )
         for spec in specs
     ]
     atlas_task: Optional[AtlasTask] = None
@@ -241,6 +274,8 @@ def run_parallel_campaign(
             # k < num_shards), so Atlas query names never collide.
             client_seed=config.seed + 1 + num_shards,
             plan=plan,
+            checkpoint_dir=checkpoint_dir,
+            fingerprint=fingerprint,
         )
 
     items: List[WorkItem] = [
@@ -277,7 +312,25 @@ def run_parallel_campaign(
         list(outputs[len(shard_tasks)]) if atlas_task is not None else []
     )
 
-    return _merge(config, shard_results, atlas_samples)
+    result = _merge(config, shard_results, atlas_samples)
+    if checkpoint is not None:
+        checkpoint.record_run(
+            {
+                "workers": workers,
+                "units": [
+                    {
+                        "role": "shard-{}".format(r.shard_index),
+                        "batches_replayed": r.resumed_batches,
+                        "batches_measured": r.measured_batches,
+                    }
+                    for r in sorted(
+                        shard_results, key=lambda r: r.shard_index
+                    )
+                ],
+            }
+        )
+        checkpoint.mark_complete()
+    return result
 
 
 def _merge(

@@ -20,10 +20,16 @@ Everything here must stay importable at module top level — the
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.ckpt.checkpoint import (
+    MeasureCheckpoint,
+    load_unit_result,
+    store_unit_result,
+)
 from repro.core.campaign import AtlasRawSample, Campaign, NodeFailure
 from repro.core.config import ReproConfig
 from repro.core.plan import WorldPlan
@@ -58,6 +64,13 @@ class ShardTask:
     #: makes the worker derive everything itself, with identical
     #: results.
     plan: Optional[WorldPlan] = None
+    #: Campaign checkpoint directory (see :mod:`repro.ckpt`).  When
+    #: set, the shard journals every batch to ``shard-<k>.ledger``,
+    #: resumes from it on a retry after a crash, and is skipped
+    #: entirely when its ``shard-<k>.result`` blob already matches
+    #: *fingerprint*.
+    checkpoint_dir: Optional[str] = None
+    fingerprint: str = ""
 
 
 @dataclass(frozen=True)
@@ -77,6 +90,10 @@ class AtlasTask:
     name_tag: str = "a-"
     #: Precomputed world-build snapshot (see :class:`ShardTask.plan`).
     plan: Optional[WorldPlan] = None
+    #: Checkpoint directory; a matching ``atlas.result`` blob short-
+    #: circuits the task (Atlas is one atomic unit, not batched).
+    checkpoint_dir: Optional[str] = None
+    fingerprint: str = ""
 
 
 @dataclass
@@ -101,12 +118,31 @@ class ShardResult:
     #: plain-data forms, mergeable in the parent in shard-index order.
     metrics: Optional[Dict] = None
     traces: Optional[List[Dict]] = None
+    #: Resume bookkeeping for the campaign manifest: batches replayed
+    #: from the shard's ledger vs measured live by this invocation.
+    resumed_batches: int = 0
+    measured_batches: int = 0
 
 
 def run_measurement_shard(task: ShardTask) -> ShardResult:
     """Build a world and measure this shard's slice of the fleet."""
     config = task.config
     spec = task.spec
+    role = "shard-{}".format(spec.shard_index)
+    checkpoint: Optional[MeasureCheckpoint] = None
+    result_path = None
+    if task.checkpoint_dir:
+        result_path = os.path.join(task.checkpoint_dir, role + ".result")
+        cached = load_unit_result(result_path, task.fingerprint, role)
+        if cached is not None:
+            # The shard finished in an earlier run; nothing measured
+            # this invocation (re-stamp the per-run counters).
+            cached.resumed_batches += cached.measured_batches
+            cached.measured_batches = 0
+            return cached
+        checkpoint = MeasureCheckpoint(
+            task.checkpoint_dir, role, task.fingerprint
+        )
     obs = Observability() if task.observe else None
     wall_start = time.perf_counter()
     world = build_world(config, plan=task.plan)
@@ -116,9 +152,14 @@ def run_measurement_shard(task: ShardTask) -> ShardResult:
         client_seed=spec.client_seed(config.seed),
         client_name_tag=spec.name_tag(),
         obs=obs,
+        shard_index=spec.shard_index,
     )
     nodes = shard_items(world.nodes(), spec)
-    raw_doh, raw_do53 = campaign.measure(nodes)
+    try:
+        raw_doh, raw_do53 = campaign.measure(nodes, checkpoint=checkpoint)
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
 
     kept_doh, dropped_doh = filter_mismatched(raw_doh, world.geolocation)
     kept_do53, dropped_do53 = filter_mismatched(raw_do53, world.geolocation)
@@ -155,7 +196,10 @@ def run_measurement_shard(task: ShardTask) -> ShardResult:
         metrics_snapshot = obs.metrics.snapshot()
         trace_snapshot = obs.trace.snapshot()
 
-    return ShardResult(
+    batch_size = max(1, config.batch_size)
+    num_batches = (len(nodes) + batch_size - 1) // batch_size
+    resumed = checkpoint.resumed_batches if checkpoint is not None else 0
+    result = ShardResult(
         shard_index=spec.shard_index,
         kept_doh=kept_doh,
         kept_do53=kept_do53,
@@ -169,11 +213,22 @@ def run_measurement_shard(task: ShardTask) -> ShardResult:
         failures=list(campaign.failures),
         metrics=metrics_snapshot,
         traces=trace_snapshot,
+        resumed_batches=resumed,
+        measured_batches=num_batches - resumed,
     )
+    if result_path is not None:
+        store_unit_result(result_path, task.fingerprint, role, result)
+    return result
 
 
 def run_atlas_task(task: AtlasTask) -> List[AtlasRawSample]:
     """Build a world and run only the RIPE Atlas supplement."""
+    result_path = None
+    if task.checkpoint_dir:
+        result_path = os.path.join(task.checkpoint_dir, "atlas.result")
+        cached = load_unit_result(result_path, task.fingerprint, "atlas")
+        if cached is not None:
+            return cached
     world = build_world(task.config, plan=task.plan)
     campaign = Campaign(
         world,
@@ -182,4 +237,7 @@ def run_atlas_task(task: AtlasTask) -> List[AtlasRawSample]:
         client_seed=task.client_seed,
         client_name_tag=task.name_tag,
     )
-    return campaign.collect_atlas()
+    samples = campaign.collect_atlas()
+    if result_path is not None:
+        store_unit_result(result_path, task.fingerprint, "atlas", samples)
+    return samples

@@ -127,3 +127,16 @@ class TimelineHeaders:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "TimelineHeaders(tun={!r}, box={!r})".format(self.tun, self.box)
+
+    def __eq__(self, other) -> bool:
+        """Value equality, so raw records round-tripped through the
+        sample ledger compare equal to the originals."""
+        if not isinstance(other, TimelineHeaders):
+            return NotImplemented
+        return self.tun == other.tun and self.box == other.box
+
+    def __hash__(self) -> int:
+        return hash((
+            tuple(sorted(self.tun.items())),
+            tuple(sorted(self.box.items())),
+        ))

@@ -31,6 +31,7 @@ from repro.analysis.phases import (
     reconcile_with_dataset,
     render_phase_table,
 )
+from repro.ckpt import CampaignCheckpoint
 from repro.core.campaign import Campaign
 from repro.core.config import ReproConfig
 from repro.core.world import build_world
@@ -52,6 +53,15 @@ def _parse_args() -> argparse.Namespace:
                         help="record phase traces and metrics; writes "
                              "dataset.traces.json and a phase breakdown "
                              "(see docs/observability.md)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="journal batches here so a preempted "
+                             "full-scale run resumes byte-identically "
+                             "(see docs/checkpointing.md)")
+    parser.add_argument("--resume", nargs="?", const="auto",
+                        choices=("never", "auto", "force"),
+                        default="never",
+                        help="resume an interrupted checkpoint (bare "
+                             "--resume = auto; force discards it)")
     return parser.parse_args()
 
 
@@ -90,6 +100,8 @@ def main() -> None:
             atlas_repetitions=5,
             progress=shard_progress,
             observe=args.observe,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
     else:
         world = build_world(config)
@@ -108,9 +120,34 @@ def main() -> None:
                     done, total, time.time() - campaign_started), flush=True)
 
         obs = Observability() if args.observe else None
-        result = Campaign(world, atlas_probes_per_country=25,
-                          atlas_repetitions=5, obs=obs).run(
-                              progress=progress)
+        campaign = Campaign(world, atlas_probes_per_country=25,
+                            atlas_repetitions=5, obs=obs)
+        if args.checkpoint_dir:
+            checkpoint = CampaignCheckpoint.open(
+                args.checkpoint_dir, config,
+                execution={"mode": "serial",
+                           "atlas_probes_per_country": 25,
+                           "atlas_repetitions": 5,
+                           "observe": bool(args.observe)},
+                resume=args.resume)
+            measure = checkpoint.measure_checkpoint("serial")
+            try:
+                result = campaign.run(progress=progress,
+                                      checkpoint=measure)
+            finally:
+                measure.close()
+            checkpoint.store_result("serial", result)
+            num_batches = -(-len(world.nodes()) // max(1, config.batch_size))
+            checkpoint.record_run({"workers": 1, "units": [{
+                "role": "serial",
+                "batches_replayed": measure.resumed_batches,
+                "batches_measured": num_batches - measure.resumed_batches,
+            }]})
+            checkpoint.mark_complete()
+            emit("checkpoint: replayed {} of {} batches from {}".format(
+                measure.resumed_batches, num_batches, args.checkpoint_dir))
+        else:
+            result = campaign.run(progress=progress)
     dataset = result.dataset
     emit("campaign in {:.0f}s".format(time.time() - campaign_started))
     emit(dataset.summary())
@@ -176,6 +213,14 @@ def main() -> None:
         phases=phases,
         command="tools/run_full_scale.py --seed {} --workers {}".format(
             args.seed, args.workers),
+        checkpoint=(
+            {
+                "directory": args.checkpoint_dir,
+                "fingerprint": CampaignCheckpoint.load(
+                    args.checkpoint_dir).fingerprint,
+            }
+            if args.checkpoint_dir else None
+        ),
     )
     write_manifest(sidecar_path(dataset_path, "manifest"), manifest)
     if result.traces is not None:
