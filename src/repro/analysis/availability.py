@@ -1,0 +1,290 @@
+"""Availability / SLO analysis over a multi-epoch longitudinal dataset.
+
+The longitudinal service (:mod:`repro.service`) accumulates one
+dataset across epochs; every sample's ``run_index`` encodes which
+epoch produced it (epoch ``N`` spans run indices ``[N *
+runs_per_epoch, (N+1) * runs_per_epoch)``).  This module recovers the
+availability story from those samples alone — it never looks at the
+fault schedule, so the MTTR/MTBF numbers are *measured*, and tests can
+cross-check them against the injected outages:
+
+* per-provider per-epoch success rate and p95/p99 response-time drift,
+* an error taxonomy per provider (reusing the failure categoriser of
+  :mod:`repro.analysis.failures`),
+* outage episodes — maximal runs of consecutive degraded epochs —
+  with MTTR (mean epochs to repair) and MTBF (mean epochs between
+  episode starts),
+* an SLO verdict per provider against a target availability.
+
+:func:`availability_report` returns a plain dict that is **free of
+timestamps and environment detail** by design: the service byte-diffs
+the rendered ``<out>.availability.json`` artifact across
+crash/resume/worker-count variations, so everything in it must be a
+pure function of the dataset and the report parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.failures import _categorise
+from repro.analysis.report import format_table
+from repro.dataset.store import Dataset
+
+__all__ = [
+    "availability_report",
+    "epoch_of_sample",
+    "outage_episodes",
+    "render_availability_table",
+]
+
+#: An epoch counts as degraded (inside an outage episode) when the
+#: provider's success rate falls to this level or below — or when the
+#: provider produced no samples at all.
+DEGRADED_THRESHOLD = 0.5
+
+
+def epoch_of_sample(run_index: int, runs_per_epoch: int) -> int:
+    """Which epoch produced a sample with this ``run_index``."""
+    if runs_per_epoch < 1:
+        raise ValueError("runs_per_epoch must be >= 1")
+    return run_index // runs_per_epoch
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted *sorted_values*."""
+    if not sorted_values:
+        raise ValueError("no values")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def outage_episodes(
+    degraded: Sequence[bool],
+) -> List[Tuple[int, int]]:
+    """Maximal runs of consecutive degraded epochs.
+
+    Returns ``(start_epoch, end_epoch)`` pairs, *end* exclusive —
+    episode ``(2, 4)`` means epochs 2 and 3 were degraded and epoch 4
+    was healthy again (or past the end of the observation window).
+    """
+    episodes: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    for epoch, bad in enumerate(degraded):
+        if bad and start is None:
+            start = epoch
+        elif not bad and start is not None:
+            episodes.append((start, epoch))
+            start = None
+    if start is not None:
+        episodes.append((start, len(degraded)))
+    return episodes
+
+
+def _mttr_mtbf(
+    episodes: Sequence[Tuple[int, int]],
+) -> Tuple[Optional[float], Optional[float]]:
+    """Mean time (in epochs) to repair, and between failures.
+
+    MTTR is the mean episode length; MTBF is the mean gap between
+    consecutive episode *starts* (None with fewer than two episodes).
+    """
+    if not episodes:
+        return None, None
+    mttr = sum(end - start for start, end in episodes) / len(episodes)
+    if len(episodes) < 2:
+        return round(mttr, 6), None
+    starts = [start for start, _end in episodes]
+    gaps = [b - a for a, b in zip(starts, starts[1:])]
+    return round(mttr, 6), round(sum(gaps) / len(gaps), 6)
+
+
+def availability_report(
+    dataset: Dataset,
+    runs_per_epoch: int,
+    epochs: Optional[int] = None,
+    slo_target: float = 0.99,
+    degraded_threshold: float = DEGRADED_THRESHOLD,
+    providers: Optional[Sequence[str]] = None,
+) -> Dict:
+    """The availability/SLO artifact for a multi-epoch dataset.
+
+    *epochs* fixes the observation window (defaults to the highest
+    epoch seen in the data plus one); *providers* fixes the provider
+    universe so a provider dark for the whole window still gets a row
+    (all-``n/a``) instead of vanishing from the report.
+    """
+    if runs_per_epoch < 1:
+        raise ValueError("runs_per_epoch must be >= 1")
+    if epochs is not None and epochs < 1:
+        raise ValueError("epochs must be >= 1")
+
+    # Group DoH attempts by (provider, epoch).
+    by_provider: Dict[str, Dict[int, List]] = {}
+    max_epoch = -1
+    for sample in dataset.doh:
+        epoch = epoch_of_sample(sample.run_index, runs_per_epoch)
+        max_epoch = max(max_epoch, epoch)
+        by_provider.setdefault(sample.provider, {}).setdefault(
+            epoch, []
+        ).append(sample)
+    if epochs is None:
+        epochs = max_epoch + 1 if max_epoch >= 0 else 1
+
+    universe = sorted(
+        set(providers) if providers is not None else set(by_provider)
+    )
+
+    report: Dict = {
+        "epochs": epochs,
+        "runs_per_epoch": runs_per_epoch,
+        "slo_target": slo_target,
+        "degraded_threshold": degraded_threshold,
+        "providers": {},
+    }
+
+    for provider in universe:
+        per_epoch_samples = by_provider.get(provider, {})
+        per_epoch: List[Dict] = []
+        degraded: List[bool] = []
+        attempts_total = 0
+        failures_total = 0
+        taxonomy: Dict[str, int] = {}
+
+        for epoch in range(epochs):
+            samples = per_epoch_samples.get(epoch, [])
+            attempts = len(samples)
+            failures = sum(1 for s in samples if not s.success)
+            attempts_total += attempts
+            failures_total += failures
+            for sample in samples:
+                if not sample.success:
+                    category = _categorise(sample.error)
+                    taxonomy[category] = taxonomy.get(category, 0) + 1
+            times = sorted(
+                s.t_doh_ms for s in samples
+                if s.success and s.t_doh_ms is not None
+            )
+            if attempts:
+                success_rate = round((attempts - failures) / attempts, 6)
+            else:
+                success_rate = None  # renders as "n/a"
+            entry = {
+                "epoch": epoch,
+                "attempts": attempts,
+                "failures": failures,
+                "success_rate": success_rate,
+                "p95_ms": (
+                    round(_percentile(times, 0.95), 3) if times else None
+                ),
+                "p99_ms": (
+                    round(_percentile(times, 0.99), 3) if times else None
+                ),
+            }
+            per_epoch.append(entry)
+            degraded.append(
+                attempts == 0 or (success_rate or 0.0) <= degraded_threshold
+            )
+
+        episodes = outage_episodes(degraded)
+        mttr, mtbf = _mttr_mtbf(episodes)
+        availability = (
+            round((attempts_total - failures_total) / attempts_total, 6)
+            if attempts_total else None
+        )
+        report["providers"][provider] = {
+            "availability": availability,
+            "slo_met": (
+                availability is not None and availability >= slo_target
+            ),
+            "attempts": attempts_total,
+            "failures": failures_total,
+            "per_epoch": per_epoch,
+            "error_taxonomy": dict(sorted(taxonomy.items())),
+            "outages": [
+                {
+                    "start_epoch": start,
+                    "end_epoch": end,
+                    "epochs": end - start,
+                }
+                for start, end in episodes
+            ],
+            "mttr_epochs": mttr,
+            "mtbf_epochs": mtbf,
+        }
+    return report
+
+
+def _fmt_rate(value: Optional[float]) -> str:
+    return "n/a" if value is None else "{:.2%}".format(value)
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return "n/a" if value is None else "{:.1f}".format(value)
+
+
+def _fmt_epochs(value: Optional[float]) -> str:
+    return "n/a" if value is None else "{:.2f}".format(value)
+
+
+def render_availability_table(report: Dict) -> str:
+    """Plain-text SLO table for one :func:`availability_report`."""
+    sections = [
+        "Availability over {} epoch(s) x {} run(s), SLO target "
+        "{:.2%}".format(
+            report["epochs"], report["runs_per_epoch"],
+            report["slo_target"],
+        )
+    ]
+    rows = []
+    for provider, entry in sorted(report["providers"].items()):
+        worst = min(
+            entry["per_epoch"],
+            key=lambda e: (
+                -1.0 if e["success_rate"] is None else e["success_rate"]
+            ),
+            default=None,
+        )
+        top_error = "-"
+        if entry["error_taxonomy"]:
+            top_error = max(
+                sorted(entry["error_taxonomy"].items()),
+                key=lambda item: item[1],
+            )[0]
+        rows.append((
+            provider,
+            _fmt_rate(entry["availability"]),
+            "yes" if entry["slo_met"] else "NO",
+            "e{} {}".format(
+                worst["epoch"], _fmt_rate(worst["success_rate"])
+            ) if worst is not None else "n/a",
+            str(len(entry["outages"])),
+            _fmt_epochs(entry["mttr_epochs"]),
+            _fmt_epochs(entry["mtbf_epochs"]),
+            top_error,
+        ))
+    sections.append(format_table(
+        ("provider", "availability", "SLO", "worst epoch",
+         "outages", "MTTR", "MTBF", "top error"),
+        rows or [("(no providers)", "-", "-", "-", "-", "-", "-", "-")],
+    ))
+
+    drift_rows = []
+    for provider, entry in sorted(report["providers"].items()):
+        for epoch_entry in entry["per_epoch"]:
+            drift_rows.append((
+                provider,
+                epoch_entry["epoch"],
+                epoch_entry["attempts"],
+                _fmt_rate(epoch_entry["success_rate"]),
+                _fmt_ms(epoch_entry["p95_ms"]),
+                _fmt_ms(epoch_entry["p99_ms"]),
+            ))
+    sections.append("")
+    sections.append("Per-epoch drift")
+    sections.append(format_table(
+        ("provider", "epoch", "attempts", "success", "p95 ms", "p99 ms"),
+        drift_rows or [("(none)", "-", "-", "-", "-", "-")],
+    ))
+    return "\n".join(sections)

@@ -15,7 +15,7 @@ would undercount.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.dataset.store import Dataset
@@ -39,7 +39,17 @@ class FailureRate:
 
     @property
     def rate(self) -> float:
+        """Failure fraction; 0.0 for a zero-attempt group (use
+        :attr:`rate_display` when rendering — an unmeasured group is
+        "n/a", not a perfect score)."""
         return self.failures / self.attempts if self.attempts else 0.0
+
+    @property
+    def rate_display(self) -> str:
+        """The rate for humans: ``n/a`` when nothing was attempted."""
+        if self.attempts == 0:
+            return "n/a"
+        return "{:.2%}".format(self.rate)
 
 
 def _sorted_rates(counts: Dict[str, List[int]]) -> List[FailureRate]:
@@ -47,14 +57,25 @@ def _sorted_rates(counts: Dict[str, List[int]]) -> List[FailureRate]:
         FailureRate(key=key, attempts=attempts, failures=failures)
         for key, (attempts, failures) in counts.items()
     ]
-    # Worst first; key as the deterministic tiebreak.
-    rows.sort(key=lambda row: (-row.rate, row.key))
+    # Worst first; zero-attempt groups (rate unknowable) after every
+    # measured group; key as the deterministic tiebreak.
+    rows.sort(key=lambda row: (row.attempts == 0, -row.rate, row.key))
     return rows
 
 
-def provider_failure_rates(dataset: Dataset) -> List[FailureRate]:
-    """DoH failure rate per provider, worst first."""
-    counts: Dict[str, List[int]] = {}
+def provider_failure_rates(
+    dataset: Dataset, providers: Optional[Sequence[str]] = None
+) -> List[FailureRate]:
+    """DoH failure rate per provider, worst first.
+
+    *providers*, if given, fixes the group universe: a provider with
+    zero samples (fully dark through an epoch, or filtered away) still
+    gets a row — with ``attempts == 0`` and a ``n/a`` display — rather
+    than silently vanishing from the report.
+    """
+    counts: Dict[str, List[int]] = {
+        key: [0, 0] for key in (providers or ())
+    }
     for sample in dataset.doh:
         entry = counts.setdefault(sample.provider, [0, 0])
         entry[0] += 1
@@ -63,9 +84,17 @@ def provider_failure_rates(dataset: Dataset) -> List[FailureRate]:
     return _sorted_rates(counts)
 
 
-def country_failure_rates(dataset: Dataset) -> List[FailureRate]:
-    """Combined DoH + BrightData-Do53 failure rate per country."""
-    counts: Dict[str, List[int]] = {}
+def country_failure_rates(
+    dataset: Dataset, countries: Optional[Sequence[str]] = None
+) -> List[FailureRate]:
+    """Combined DoH + BrightData-Do53 failure rate per country.
+
+    *countries* fixes the group universe like *providers* does for
+    :func:`provider_failure_rates`.
+    """
+    counts: Dict[str, List[int]] = {
+        key: [0, 0] for key in (countries or ())
+    }
     for sample in dataset.doh:
         entry = counts.setdefault(sample.country, [0, 0])
         entry[0] += 1
@@ -129,8 +158,7 @@ def render_failure_report(dataset: Dataset, max_countries: int = 15) -> str:
     sections.append(format_table(
         ("provider", "attempts", "failures", "rate"),
         [
-            (row.key, row.attempts, row.failures,
-             "{:.2%}".format(row.rate))
+            (row.key, row.attempts, row.failures, row.rate_display)
             for row in provider_rows
         ],
     ))
@@ -145,8 +173,7 @@ def render_failure_report(dataset: Dataset, max_countries: int = 15) -> str:
     sections.append(format_table(
         ("country", "attempts", "failures", "rate"),
         [
-            (row.key, row.attempts, row.failures,
-             "{:.2%}".format(row.rate))
+            (row.key, row.attempts, row.failures, row.rate_display)
             for row in country_rows
         ],
     ))

@@ -16,7 +16,12 @@ discard completed work.  This package provides:
   directory layout, manifest, and resume bookkeeping,
 * :mod:`repro.ckpt.extend` — incremental campaigns: grow a finished
   checkpoint with new providers, more runs, or more nodes, computing
-  only the delta and merging deterministically.
+  only the delta and merging deterministically,
+* :mod:`repro.ckpt.quarantine` — checkpoint health classification
+  (clean / stale / torn / corrupt, with distinct ``ckpt verify`` exit
+  codes) and the quarantine move used by the longitudinal service:
+  damaged checkpoints are set aside with their bytes intact, never
+  overwritten.
 
 See docs/checkpointing.md for the format and guarantees.
 """
@@ -31,17 +36,35 @@ from repro.ckpt.checkpoint import (
 from repro.ckpt.extend import ExtendResult, extend_campaign, plan_extension
 from repro.ckpt.fingerprint import campaign_fingerprint
 from repro.ckpt.ledger import LedgerReader, LedgerWriter
+from repro.ckpt.quarantine import (
+    VERIFY_CLEAN,
+    VERIFY_CORRUPT,
+    VERIFY_STALE,
+    VERIFY_TORN,
+    CheckpointHealth,
+    latest_quarantine_entry,
+    quarantine_checkpoint,
+    verify_checkpoint_dir,
+)
 
 __all__ = [
     "CampaignCheckpoint",
     "CheckpointCorruptionError",
     "CheckpointError",
+    "CheckpointHealth",
     "CheckpointMismatchError",
     "ExtendResult",
     "LedgerReader",
     "LedgerWriter",
     "MeasureCheckpoint",
+    "VERIFY_CLEAN",
+    "VERIFY_CORRUPT",
+    "VERIFY_STALE",
+    "VERIFY_TORN",
     "campaign_fingerprint",
     "extend_campaign",
+    "latest_quarantine_entry",
     "plan_extension",
+    "quarantine_checkpoint",
+    "verify_checkpoint_dir",
 ]

@@ -9,7 +9,9 @@ Commands:
 * ``info``        — describe what a configuration would build;
 * ``trace``       — inspect recorded phase traces (``--observe`` runs);
 * ``ckpt``        — inspect, verify, prune, and extend campaign
-  checkpoints (``status``/``verify``/``gc``/``extend``).
+  checkpoints (``status``/``verify``/``gc``/``extend``);
+* ``service``     — the always-on longitudinal availability service
+  (``run``/``resume``/``status``, see docs/availability.md).
 
 Examples::
 
@@ -24,6 +26,9 @@ Examples::
     python -m repro analyze dataset.json --artifact phases
     python -m repro trace dataset.traces.json --node AD-0000
     python -m repro groundtruth --repetitions 10
+    python -m repro service run svc/ --scale 0.02 --epochs 5
+    python -m repro service resume svc/ --workers 4
+    python -m repro service status svc/
 """
 
 from __future__ import annotations
@@ -45,7 +50,7 @@ __all__ = ["main"]
 _ARTIFACTS = (
     "headlines", "table3", "table4", "table5", "table6",
     "figure3", "figure6", "figure7", "providers", "failures",
-    "phases",
+    "phases", "availability",
 )
 
 
@@ -154,6 +159,13 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--traces", default=None,
                          help="trace sidecar for --artifact phases "
                               "(default: <dataset>.traces.json)")
+    analyze.add_argument("--runs-per-epoch", type=int, default=None,
+                         help="for --artifact availability: how many "
+                              "runs per client each service epoch "
+                              "measured (maps run_index to epoch)")
+    analyze.add_argument("--slo-target", type=float, default=0.99,
+                         help="for --artifact availability: target "
+                              "per-provider success rate")
 
     trace = sub.add_parser(
         "trace", help="inspect phase traces from an --observe run"
@@ -176,6 +188,64 @@ def _build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="describe a configuration")
     info.add_argument("--scale", type=float, default=0.05)
     info.add_argument("--seed", type=int, default=20210402)
+
+    service = sub.add_parser(
+        "service",
+        help="always-on longitudinal availability service "
+             "(see docs/availability.md)",
+    )
+    svsub = service.add_subparsers(dest="service_command", required=True)
+
+    def _runtime_args(p):
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes per epoch (a runtime "
+                            "knob: never changes the dataset bytes)")
+        p.add_argument("--epoch-deadline", type=float, default=None,
+                       help="watchdog: seconds an epoch may run before "
+                            "it is aborted and retried")
+        p.add_argument("--epoch-retries", type=int, default=2,
+                       help="max retries per failed epoch")
+        p.add_argument("--retry-backoff", type=float, default=1.0,
+                       help="base seconds between epoch retries "
+                            "(grows linearly per attempt)")
+
+    sv_run = svsub.add_parser(
+        "run", help="start a fresh service in a directory"
+    )
+    sv_run.add_argument("dir", help="service directory (created)")
+    sv_run.add_argument("--master-seed", type=int, default=20210402,
+                        help="master seed: with the other identity "
+                             "flags, fully determines every epoch")
+    sv_run.add_argument("--scale", type=float, default=0.05)
+    sv_run.add_argument("--epochs", type=int, default=3,
+                        help="how many epochs the service measures")
+    sv_run.add_argument("--runs-per-epoch", type=int, default=2,
+                        help="runs per client in each epoch")
+    sv_run.add_argument("--shards", type=int, default=4,
+                        help="fleet shard count (part of the service "
+                             "identity, unlike --workers)")
+    sv_run.add_argument("--batch-size", type=int, default=400)
+    sv_run.add_argument("--provider", action="append", default=[],
+                        help="measure this provider (repeatable; "
+                             "default: the paper's four)")
+    sv_run.add_argument("--no-faults", action="store_true",
+                        help="disable the evolving fault schedule "
+                             "(measure a healthy Internet)")
+    sv_run.add_argument("--slo-target", type=float, default=0.99)
+    _runtime_args(sv_run)
+
+    sv_resume = svsub.add_parser(
+        "resume",
+        help="continue an interrupted service at its exact epoch "
+             "boundary",
+    )
+    sv_resume.add_argument("dir", help="service directory")
+    _runtime_args(sv_resume)
+
+    sv_status = svsub.add_parser(
+        "status", help="describe a service directory and its journal"
+    )
+    sv_status.add_argument("dir", help="service directory")
     return parser
 
 
@@ -414,6 +484,29 @@ def _cmd_analyze(args) -> int:
         from repro.analysis.failures import render_failure_report
 
         print(render_failure_report(dataset))
+    elif artifact == "availability":
+        from repro.analysis.availability import (
+            availability_report,
+            render_availability_table,
+        )
+        from repro.ioutil import atomic_write_json
+        from repro.obs.manifest import sidecar_path
+
+        if args.runs_per_epoch is None:
+            print("--artifact availability needs --runs-per-epoch "
+                  "(the service's runs-per-client per epoch)")
+            return 1
+        report = availability_report(
+            dataset,
+            runs_per_epoch=args.runs_per_epoch,
+            slo_target=args.slo_target,
+        )
+        print(render_availability_table(report))
+        out_path = sidecar_path(args.dataset, "availability")
+        atomic_write_json(out_path, report, indent=2, sort_keys=True,
+                          trailing_newline=True)
+        print()
+        print("availability artifact written to {}".format(out_path))
     elif artifact == "providers":
         from repro.analysis.providers import provider_summaries
 
@@ -572,53 +665,28 @@ def _ckpt_status(args) -> int:
 
 
 def _ckpt_verify(args) -> int:
-    import os
+    """Classify a checkpoint and exit with its health code.
 
-    from repro.ckpt import CampaignCheckpoint
-    from repro.ckpt.checkpoint import load_unit_result
-    from repro.ckpt.ledger import CheckpointCorruptionError, read_ledger
+    Exit codes are a documented contract (docs/checkpointing.md):
+    0 = clean, 1 = stale structure, 2 = torn tail only (safe to
+    resume), 3 = mid-file corruption (quarantine, never resume).
+    """
+    from repro.ckpt import verify_checkpoint_dir
 
-    checkpoint = CampaignCheckpoint.load(args.dir)
-    problems = []
-    for name in sorted(os.listdir(args.dir)):
-        path = os.path.join(args.dir, name)
-        if name.endswith(".ledger"):
-            role = name[: -len(".ledger")]
-            try:
-                load = read_ledger(path)
-            except CheckpointCorruptionError as exc:
-                problems.append("{}: {}".format(name, exc))
-                continue
-            header = load.header.payload if load.header else {}
-            if header.get("fingerprint") != checkpoint.fingerprint:
-                problems.append(
-                    "{}: fingerprint {} does not match the manifest's "
-                    "{}".format(name, header.get("fingerprint"),
-                                checkpoint.fingerprint))
-            batches = sum(
-                1 for record in load.records if record.kind == "batch")
-            done = any(record.kind == "done" for record in load.records)
-            note = " [torn tail dropped]" if load.dropped_tail else ""
-            print("  {:<24} {} batch record(s), {}{}".format(
-                name, batches, "complete" if done else "in progress",
-                note))
-        elif name.endswith(".result"):
-            role = name[: -len(".result")]
-            if load_unit_result(
-                path, checkpoint.fingerprint, role
-            ) is None:
-                problems.append(
-                    "{}: unreadable or stale result blob".format(name))
-            else:
-                print("  {:<24} result blob ok".format(name))
-    if problems:
-        for problem in problems:
-            print("PROBLEM: {}".format(problem))
-        return 1
-    print("checkpoint {} verified: every ledger checksums clean and "
-          "matches fingerprint {}".format(
-              args.dir, checkpoint.fingerprint[:12]))
-    return 0
+    health = verify_checkpoint_dir(args.dir)
+    for note in health.notes:
+        print("  {}".format(note))
+    for problem in health.problems:
+        print("PROBLEM: {}".format(problem))
+    if health.status == "clean":
+        print("checkpoint {} verified: every ledger checksums clean "
+              "end to end".format(args.dir))
+    else:
+        print("checkpoint {} status: {} ({})".format(
+            args.dir, health.status,
+            "safe to resume" if health.resumable
+            else "do NOT resume; quarantine"))
+    return health.exit_code
 
 
 def _ckpt_gc(args) -> int:
@@ -711,6 +779,121 @@ def _ckpt_extend(args) -> int:
     return 0
 
 
+def _cmd_service(args) -> int:
+    handlers = {
+        "run": _service_run,
+        "resume": _service_resume,
+        "status": _service_status,
+    }
+    return handlers[args.service_command](args)
+
+
+def _service_run(args) -> int:
+    from repro.service import ServiceConfig, ServiceSupervisor
+
+    config = ServiceConfig(
+        directory=args.dir,
+        master_seed=args.master_seed,
+        scale=args.scale,
+        epochs=args.epochs,
+        runs_per_epoch=args.runs_per_epoch,
+        num_shards=args.shards,
+        batch_size=args.batch_size,
+        providers=tuple(args.provider) or ServiceConfig.providers,
+        faults_enabled=not args.no_faults,
+        slo_target=args.slo_target,
+        workers=args.workers,
+        epoch_deadline_s=args.epoch_deadline,
+        max_epoch_retries=args.epoch_retries,
+        retry_backoff_s=args.retry_backoff,
+    )
+    return ServiceSupervisor(config).run(fresh=True)
+
+
+def _service_resume(args) -> int:
+    import json
+
+    from repro.service import ServiceConfig, ServiceSupervisor
+    from repro.service import paths as service_paths
+
+    manifest_path = service_paths.service_manifest_path(args.dir)
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        print("no service manifest at {}; start one with "
+              "'repro service run'".format(manifest_path))
+        return 1
+    config = ServiceConfig.from_identity(
+        args.dir,
+        manifest["identity"],
+        workers=args.workers,
+        epoch_deadline_s=args.epoch_deadline,
+        max_epoch_retries=args.epoch_retries,
+        retry_backoff_s=args.retry_backoff,
+    )
+    return ServiceSupervisor(config).run(fresh=False)
+
+
+def _service_status(args) -> int:
+    import json
+    import os
+
+    from repro.ckpt.ledger import CheckpointCorruptionError, read_ledger
+    from repro.service import paths as service_paths
+
+    manifest_path = service_paths.service_manifest_path(args.dir)
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        print("no service manifest at {}".format(manifest_path))
+        return 1
+    identity = manifest.get("identity", {})
+    print("service:      {}".format(args.dir))
+    print("fingerprint:  {}".format(manifest.get("fingerprint")))
+    print("status:       {}".format(manifest.get("status")))
+    print("identity:     " + ", ".join(
+        "{}={}".format(key, identity[key])
+        for key in sorted(identity) if key != "fault_params"))
+
+    # Read-only journal inspection (never truncates or appends).
+    try:
+        load = read_ledger(service_paths.journal_path(args.dir))
+    except CheckpointCorruptionError as exc:
+        print("journal:      CORRUPT ({})".format(exc))
+        return 1
+    if load is None:
+        print("journal:      (none yet)")
+        return 0
+    done = set()
+    for record in load.records:
+        if record.kind == "epoch-done":
+            done.add(int(record.payload["epoch"]))
+    epochs = int(identity.get("epochs", 0))
+    next_epoch = 0
+    while next_epoch in done:
+        next_epoch += 1
+    print("epochs:       {}/{} done{}".format(
+        len(done), epochs,
+        "" if next_epoch >= epochs else
+        ", next is epoch {}".format(next_epoch)))
+    for record in load.records[-6:]:
+        if record.kind == "header":
+            continue
+        payload = {k: v for k, v in record.payload.items()
+                   if k != "fault_plan"}
+        print("  [{}] {} {}".format(record.seq, record.kind, payload))
+    availability = service_paths.availability_path(args.dir)
+    if os.path.exists(availability):
+        print("availability: {}".format(availability))
+    quarantines = service_paths.quarantine_root(args.dir)
+    if os.path.isdir(quarantines) and os.listdir(quarantines):
+        print("QUARANTINE:   {} entr(ies) under {}".format(
+            len(os.listdir(quarantines)), quarantines))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse *argv* and dispatch to a subcommand; returns exit code."""
     args = _build_parser().parse_args(argv)
@@ -721,6 +904,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _cmd_info,
         "trace": _cmd_trace,
         "ckpt": _cmd_ckpt,
+        "service": _cmd_service,
     }
     return handlers[args.command](args)
 

@@ -18,6 +18,13 @@ See ``docs/robustness.md`` for the determinism rules and the
 degradation policy consuming these faults.
 """
 
+from repro.faults.epochs import (
+    EpochOutage,
+    EpochScheduleParams,
+    active_outages,
+    epoch_fault_plan,
+    epoch_plan_seed,
+)
 from repro.faults.injector import FaultInjector, GilbertElliottChain
 from repro.faults.plan import (
     FaultPlan,
@@ -30,8 +37,13 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "EpochOutage",
+    "EpochScheduleParams",
     "FaultInjector",
     "FaultPlan",
+    "active_outages",
+    "epoch_fault_plan",
+    "epoch_plan_seed",
     "FaultWindow",
     "GilbertElliottChain",
     "GilbertElliottLoss",

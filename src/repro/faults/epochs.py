@@ -1,0 +1,285 @@
+"""Epoch-indexed fault schedules for the longitudinal service.
+
+The availability service (:mod:`repro.service`) measures the fleet in
+*epochs* — repeated time slices of the same campaign under an Internet
+that keeps degrading and healing, the regime in which Sharma & Feamster
+observed the interesting resolver failures.  Each epoch runs under its
+own :class:`~repro.faults.plan.FaultPlan`, derived here.
+
+The determinism contract mirrors :mod:`repro.faults.injector`: every
+decision draws from a fresh RNG keyed with BLAKE2b on stable
+identifiers — ``(master_seed, "epoch-schedule", aspect, ...)`` — so
+epoch ``N``'s plan is a **pure function of (master_seed, N)**.  The
+supervisor never has to persist plans: a crashed service re-derives
+exactly the schedule it was running, and an auditor can re-derive any
+epoch's plan in isolation and compare it against the journal.
+
+The derived schedules are *narratives*, not i.i.d. noise:
+
+* **provider outages span epochs** — an outage rolls a start epoch and
+  a duration in whole epochs, so a provider that goes dark in epoch 3
+  is still dark in epoch 4 and healed by epoch 6.  Activity at epoch
+  ``N`` is decided by replaying the outage rolls for every start epoch
+  ``<= N``, which keeps the per-epoch derivation self-contained;
+* **churn waves** — the exit-node churn rate drifts smoothly between
+  epochs (each epoch blends its own draw with the previous epoch's);
+* **overload and loss levels drift** the same way, so degradation
+  builds up and decays over consecutive epochs instead of flickering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.plan import (
+    FaultPlan,
+    FaultWindow,
+    GilbertElliottLoss,
+    NodeChurn,
+    ProviderOutage,
+    SuperProxyOverload,
+)
+
+__all__ = [
+    "EpochOutage",
+    "EpochScheduleParams",
+    "active_outages",
+    "epoch_fault_plan",
+    "epoch_plan_seed",
+]
+
+
+@dataclass(frozen=True)
+class EpochScheduleParams:
+    """Intensity knobs for the evolving schedule (all per-epoch)."""
+
+    #: Probability a provider starts a new outage in any given epoch
+    #: (evaluated independently per provider per epoch).
+    outage_start_prob: float = 0.25
+    #: Outage duration is uniform in [1, max_outage_epochs] epochs.
+    max_outage_epochs: int = 3
+    #: Probability an active outage is a SERVFAIL (backend) outage
+    #: rather than a refused-connection (front-end) outage.
+    servfail_prob: float = 0.4
+    #: Churn-rate drift band; per-epoch rate blends toward a fresh
+    #: draw from this band.
+    churn_rate_min: float = 0.02
+    churn_rate_max: float = 0.2
+    #: Probability the super proxies shed load at all in an epoch.
+    overload_prob: float = 0.5
+    #: Probability the fabric suffers bursty loss in an epoch.
+    bursty_loss_prob: float = 0.7
+
+    def __post_init__(self) -> None:
+        for name in ("outage_start_prob", "servfail_prob",
+                     "overload_prob", "bursty_loss_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("{} must be in [0, 1]".format(name))
+        if self.max_outage_epochs < 1:
+            raise ValueError("max_outage_epochs must be >= 1")
+        if not 0.0 <= self.churn_rate_min <= self.churn_rate_max <= 1.0:
+            raise ValueError(
+                "need 0 <= churn_rate_min <= churn_rate_max <= 1"
+            )
+
+
+@dataclass(frozen=True)
+class EpochOutage:
+    """One provider outage expressed in epoch coordinates."""
+
+    provider: str
+    start_epoch: int
+    duration_epochs: int
+    mode: str  # "refuse" | "servfail"
+
+    @property
+    def end_epoch(self) -> int:
+        """First epoch in which the provider is healthy again."""
+        return self.start_epoch + self.duration_epochs
+
+    def active(self, epoch: int) -> bool:
+        """Whether this outage affects *epoch*."""
+        return self.start_epoch <= epoch < self.end_epoch
+
+
+def _rng(master_seed: int, *key: object) -> random.Random:
+    """A fresh RNG keyed on stable identifiers (never builtin hash)."""
+    material = repr((master_seed, "epoch-schedule") + key)
+    digest = hashlib.blake2b(
+        material.encode("utf-8"), digest_size=8
+    ).digest()
+    return random.Random(int.from_bytes(digest, "big"))
+
+
+def epoch_plan_seed(master_seed: int, epoch: int) -> int:
+    """The per-epoch :class:`FaultPlan` seed (injector stream key).
+
+    Distinct per epoch so the same fault shape produces different —
+    but reproducible — victims and timings in every epoch.
+    """
+    return _rng(master_seed, "plan-seed", epoch).getrandbits(48)
+
+
+def _outage_rolls(
+    master_seed: int,
+    provider: str,
+    through_epoch: int,
+    params: EpochScheduleParams,
+) -> List[EpochOutage]:
+    """Every outage of *provider* that starts at or before
+    *through_epoch* (active or already healed)."""
+    outages: List[EpochOutage] = []
+    for start in range(through_epoch + 1):
+        rng = _rng(master_seed, "outage", provider, start)
+        if rng.random() >= params.outage_start_prob:
+            continue
+        duration = rng.randint(1, params.max_outage_epochs)
+        mode = (
+            "servfail" if rng.random() < params.servfail_prob else "refuse"
+        )
+        outages.append(
+            EpochOutage(
+                provider=provider,
+                start_epoch=start,
+                duration_epochs=duration,
+                mode=mode,
+            )
+        )
+    return outages
+
+
+def active_outages(
+    master_seed: int,
+    epoch: int,
+    providers: Sequence[str],
+    params: Optional[EpochScheduleParams] = None,
+) -> List[EpochOutage]:
+    """The outages in force during *epoch*, pure in (seed, epoch).
+
+    Replays every provider's outage rolls for start epochs ``0..epoch``
+    and keeps those whose ``[start, start+duration)`` span covers
+    *epoch*.  Overlapping outages of the same provider and mode are
+    collapsed to the earliest roll (one front-end failure is one
+    failure, however many times it was "started").
+    """
+    if params is None:
+        params = EpochScheduleParams()
+    active: List[EpochOutage] = []
+    for provider in providers:
+        seen_modes = set()
+        for outage in _outage_rolls(master_seed, provider, epoch, params):
+            if outage.active(epoch) and outage.mode not in seen_modes:
+                seen_modes.add(outage.mode)
+                active.append(outage)
+    return active
+
+
+def _drifted(
+    master_seed: int, aspect: str, epoch: int, low: float, high: float
+) -> float:
+    """A level in [low, high] that drifts smoothly across epochs.
+
+    Epoch ``N``'s level is the mean of the independent draws for
+    epochs ``N-1`` and ``N`` (epoch 0 uses its own draw alone), so
+    consecutive epochs are correlated — degradation ramps and decays —
+    while any epoch's level is still derivable from (seed, N) alone.
+    """
+    def draw(at: int) -> float:
+        return _rng(master_seed, aspect, at).uniform(low, high)
+
+    if epoch == 0:
+        return draw(0)
+    return 0.5 * (draw(epoch - 1) + draw(epoch))
+
+
+def epoch_fault_plan(
+    master_seed: int,
+    epoch: int,
+    providers: Sequence[str],
+    params: Optional[EpochScheduleParams] = None,
+) -> FaultPlan:
+    """The evolving fault schedule for *epoch* — pure in (seed, epoch).
+
+    The returned plan carries multi-epoch provider outages (restricted
+    to those active this epoch, with intra-epoch duty cycles), the
+    epoch's drifted churn/overload/loss levels, and an epoch-specific
+    plan seed.  ``epoch_fault_plan(s, n, p) == epoch_fault_plan(s, n,
+    p)`` always; the service journal records ``repr`` of the plan it
+    ran so the equality is auditable after the fact.
+    """
+    if epoch < 0:
+        raise ValueError("epoch must be >= 0")
+    if params is None:
+        params = EpochScheduleParams()
+
+    outage_specs: Tuple[ProviderOutage, ...] = tuple(
+        ProviderOutage(
+            provider=outage.provider,
+            mode=outage.mode,
+            # Intra-epoch texture: a recurring burst whose duty cycle
+            # is keyed on the outage's identity, so the same outage
+            # looks the same in every epoch it spans.
+            window=_outage_window(master_seed, outage),
+        )
+        for outage in active_outages(master_seed, epoch, providers, params)
+    )
+
+    churn_rate = _drifted(
+        master_seed, "churn", epoch,
+        params.churn_rate_min, params.churn_rate_max,
+    )
+
+    overload = None
+    if _rng(master_seed, "overload?", epoch).random() < params.overload_prob:
+        period = _drifted(master_seed, "overload-period", epoch,
+                          3000.0, 8000.0)
+        duty = _drifted(master_seed, "overload-duty", epoch, 0.05, 0.25)
+        overload = SuperProxyOverload(
+            rate=1.0,
+            window=FaultWindow(
+                period_ms=round(period, 3),
+                burst_ms=round(period * duty, 3),
+            ),
+        )
+
+    loss = None
+    if _rng(master_seed, "loss?", epoch).random() < params.bursty_loss_prob:
+        loss = GilbertElliottLoss(
+            p_enter_bad=round(
+                _drifted(master_seed, "loss-enter", epoch, 0.005, 0.03), 6
+            ),
+            p_exit_bad=round(
+                _drifted(master_seed, "loss-exit", epoch, 0.15, 0.4), 6
+            ),
+            bad_loss_rate=round(
+                _drifted(master_seed, "loss-rate", epoch, 0.2, 0.5), 6
+            ),
+        )
+
+    return FaultPlan(
+        seed=epoch_plan_seed(master_seed, epoch),
+        node_churn=NodeChurn(rate=round(churn_rate, 6)),
+        provider_outages=outage_specs,
+        superproxy_overload=overload,
+        bursty_loss=loss,
+    )
+
+
+def _outage_window(master_seed: int, outage: EpochOutage) -> FaultWindow:
+    """The intra-epoch duty cycle of one multi-epoch outage."""
+    rng = _rng(
+        master_seed, "outage-window",
+        outage.provider, outage.start_epoch, outage.mode,
+    )
+    # Hard outages (always on) and partial brownouts both occur.
+    if rng.random() < 0.5:
+        return FaultWindow()
+    period = rng.uniform(3000.0, 6000.0)
+    duty = rng.uniform(0.3, 0.7)
+    return FaultWindow(
+        period_ms=round(period, 3), burst_ms=round(period * duty, 3)
+    )

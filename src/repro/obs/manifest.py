@@ -58,6 +58,8 @@ def build_manifest(
     phases: Optional[Dict] = None,
     command: str = "",
     checkpoint: Optional[Dict] = None,
+    availability: Optional[Dict] = None,
+    service: Optional[Dict] = None,
 ) -> Dict:
     """Assemble the manifest dict for one finished campaign.
 
@@ -70,6 +72,10 @@ def build_manifest(
     checkpoint directory and fingerprint, the per-run resume counters
     (batches replayed from the ledger vs measured live), and the
     extension lineage (see :mod:`repro.ckpt`).  None for plain runs.
+
+    *availability* and *service*, for longitudinal service runs
+    (:mod:`repro.service`), carry the compact SLO summary and the
+    service identity/progress block.  None for one-shot campaigns.
     """
     from repro import __version__  # local import: repro imports core
 
@@ -94,6 +100,8 @@ def build_manifest(
         "metrics": metrics,
         "phases": phases,
         "checkpoint": checkpoint,
+        "availability": availability,
+        "service": service,
     }
     if dataset is not None:
         manifest["dataset"] = {

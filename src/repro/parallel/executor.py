@@ -194,6 +194,9 @@ def run_parallel_campaign(
     observe: bool = False,
     checkpoint_dir: Optional[str] = None,
     resume: str = "never",
+    run_index_offset: int = 0,
+    client_seed_offset: int = 0,
+    name_prefix: str = "",
 ) -> CampaignResult:
     """Run the full campaign across *workers* processes.
 
@@ -221,6 +224,14 @@ def run_parallel_campaign(
     ``<role>.result`` blobs, and a rerun with *resume* ``"auto"``
     skips finished units, resumes interrupted ones from their ledger,
     and produces a dataset byte-identical to an uninterrupted run.
+
+    *run_index_offset*/*client_seed_offset*/*name_prefix* give one
+    campaign an identity within a longer sequence (the epoch plumbing
+    of :mod:`repro.service`): emitted ``run_index`` values are shifted
+    by the offset, every shard's client RNG stream is moved by
+    *client_seed_offset*, and *name_prefix* is prepended to the shard
+    query-name tags so distinct campaigns stay structurally disjoint.
+    All three are part of the checkpoint fingerprint.
     """
     if workers is None:
         workers = default_worker_count()
@@ -251,6 +262,9 @@ def run_parallel_campaign(
                 "atlas_probes_per_country": atlas_probes_per_country,
                 "atlas_repetitions": atlas_repetitions,
                 "observe": observe,
+                "run_index_offset": run_index_offset,
+                "client_seed_offset": client_seed_offset,
+                "name_prefix": name_prefix,
             },
             resume=resume,
         )
@@ -261,6 +275,9 @@ def run_parallel_campaign(
         ShardTask(
             config, spec, observe=observe, plan=plan,
             checkpoint_dir=checkpoint_dir, fingerprint=fingerprint,
+            run_index_offset=run_index_offset,
+            client_seed_offset=client_seed_offset,
+            name_prefix=name_prefix,
         )
         for spec in specs
     ]
@@ -272,7 +289,8 @@ def run_parallel_campaign(
             repetitions=atlas_repetitions,
             # Past every shard's client stream (they use seed+1+k for
             # k < num_shards), so Atlas query names never collide.
-            client_seed=config.seed + 1 + num_shards,
+            client_seed=config.seed + 1 + num_shards + client_seed_offset,
+            name_tag=name_prefix + "a-",
             plan=plan,
             checkpoint_dir=checkpoint_dir,
             fingerprint=fingerprint,

@@ -71,6 +71,14 @@ class ShardTask:
     #: *fingerprint*.
     checkpoint_dir: Optional[str] = None
     fingerprint: str = ""
+    #: Epoch plumbing for the longitudinal service (``repro.service``):
+    #: shifts every emitted ``run_index`` so samples carry which time
+    #: slice produced them, offsets the client RNG stream, and prefixes
+    #: query names — all structural, so distinct epochs can never
+    #: collide even at equal seeds.
+    run_index_offset: int = 0
+    client_seed_offset: int = 0
+    name_prefix: str = ""
 
 
 @dataclass(frozen=True)
@@ -149,10 +157,11 @@ def run_measurement_shard(task: ShardTask) -> ShardResult:
     campaign = Campaign(
         world,
         atlas_probes_per_country=0,
-        client_seed=spec.client_seed(config.seed),
-        client_name_tag=spec.name_tag(),
+        client_seed=spec.client_seed(config.seed) + task.client_seed_offset,
+        client_name_tag=task.name_prefix + spec.name_tag(),
         obs=obs,
         shard_index=spec.shard_index,
+        run_index_offset=task.run_index_offset,
     )
     nodes = shard_items(world.nodes(), spec)
     try:

@@ -1,0 +1,55 @@
+"""The always-on longitudinal availability service.
+
+One-shot campaigns answer the paper's questions; the service answers
+the follow-up the longitudinal literature asks (Sharma & Feamster;
+Hounsel et al.): what happens to resolver availability *over time*,
+under an Internet that keeps degrading and healing?  The service
+re-measures the same fleet in *epochs*, each under an evolving
+deterministic fault schedule (:mod:`repro.faults.epochs`), and keeps
+an accumulated dataset plus an availability/SLO artifact
+(:mod:`repro.analysis.availability`) fresh at every epoch boundary.
+
+Modules:
+
+* :mod:`repro.service.paths` — the service directory layout, in one
+  place (manifest, journal, dataset, epoch checkpoints, quarantine);
+* :mod:`repro.service.journal` — the crash journal: checksummed,
+  fsync'd epoch-boundary events on the ``repro.ckpt`` ledger format;
+* :mod:`repro.service.supervisor` — the epoch loop with graceful
+  signal shutdown, per-epoch watchdog, bounded retries, and
+  checkpoint quarantine.
+
+See ``docs/availability.md`` for the lifecycle and the determinism
+contract.
+"""
+
+from repro.service.journal import JournalCorruptError, ServiceJournal
+from repro.service.supervisor import (
+    EXIT_EPOCH_FAILED,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_QUARANTINE,
+    EpochDeadlineExceeded,
+    EpochFailedError,
+    GracefulShutdown,
+    QuarantinedCheckpointError,
+    ServiceConfig,
+    ServiceError,
+    ServiceSupervisor,
+)
+
+__all__ = [
+    "EXIT_EPOCH_FAILED",
+    "EXIT_INTERRUPTED",
+    "EXIT_OK",
+    "EXIT_QUARANTINE",
+    "EpochDeadlineExceeded",
+    "EpochFailedError",
+    "GracefulShutdown",
+    "JournalCorruptError",
+    "QuarantinedCheckpointError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceJournal",
+    "ServiceSupervisor",
+]

@@ -1,0 +1,196 @@
+"""Availability/SLO analysis: epochs, outages, MTTR/MTBF, rendering."""
+
+import pytest
+
+from repro.analysis.availability import (
+    DEGRADED_THRESHOLD,
+    availability_report,
+    epoch_of_sample,
+    outage_episodes,
+    render_availability_table,
+)
+from repro.dataset.store import Dataset
+from repro.dataset.records import DohSample
+
+
+def sample(provider, run_index, success=True, t=50.0, error=""):
+    return DohSample(
+        node_id="n1",
+        country="US",
+        provider=provider,
+        run_index=run_index,
+        t_doh_ms=t if success else None,
+        t_dohr_ms=t if success else None,
+        rtt_estimate_ms=10.0,
+        success=success,
+        error=error,
+    )
+
+
+def epoch_samples(provider, epoch, runs_per_epoch, ok, bad,
+                  t=50.0, error="timeout"):
+    """*ok* successes and *bad* failures attributed to *epoch*."""
+    base = epoch * runs_per_epoch
+    out = [
+        sample(provider, base, success=True, t=t + i)
+        for i in range(ok)
+    ]
+    out += [
+        sample(provider, base, success=False, error=error)
+        for _ in range(bad)
+    ]
+    return out
+
+
+class TestEpochAttribution:
+    def test_run_index_maps_to_epoch(self):
+        assert epoch_of_sample(0, 2) == 0
+        assert epoch_of_sample(1, 2) == 0
+        assert epoch_of_sample(2, 2) == 1
+        assert epoch_of_sample(5, 2) == 2
+
+    def test_runs_per_epoch_validated(self):
+        with pytest.raises(ValueError):
+            epoch_of_sample(0, 0)
+        with pytest.raises(ValueError):
+            availability_report(Dataset(), runs_per_epoch=0)
+        with pytest.raises(ValueError):
+            availability_report(Dataset(), runs_per_epoch=1, epochs=0)
+
+    def test_window_defaults_to_highest_epoch_seen(self):
+        dataset = Dataset(doh=epoch_samples("g", 2, 1, ok=3, bad=0))
+        report = availability_report(dataset, runs_per_epoch=1)
+        assert report["epochs"] == 3
+        assert [
+            e["attempts"] for e in report["providers"]["g"]["per_epoch"]
+        ] == [0, 0, 3]
+
+
+class TestRatesAndPercentiles:
+    def test_success_rates_and_availability(self):
+        dataset = Dataset(
+            doh=epoch_samples("g", 0, 1, ok=3, bad=1)
+            + epoch_samples("g", 1, 1, ok=4, bad=0)
+        )
+        report = availability_report(
+            dataset, runs_per_epoch=1, slo_target=0.9
+        )
+        entry = report["providers"]["g"]
+        assert entry["attempts"] == 8
+        assert entry["failures"] == 1
+        assert entry["availability"] == pytest.approx(7 / 8)
+        assert entry["slo_met"] is False  # 87.5% < 90%
+        rates = [e["success_rate"] for e in entry["per_epoch"]]
+        assert rates == [0.75, 1.0]
+
+    def test_percentiles_are_nearest_rank_of_successes(self):
+        # 100 successes at 1..100 ms: p95 = 95, p99 = 99; failures
+        # contribute no latency.
+        doh = [
+            sample("g", 0, success=True, t=float(i))
+            for i in range(1, 101)
+        ] + [sample("g", 0, success=False)]
+        report = availability_report(Dataset(doh=doh), runs_per_epoch=1)
+        epoch0 = report["providers"]["g"]["per_epoch"][0]
+        assert epoch0["p95_ms"] == 95.0
+        assert epoch0["p99_ms"] == 99.0
+
+    def test_error_taxonomy_counts_failures(self):
+        doh = (
+            epoch_samples("g", 0, 1, ok=1, bad=2, error="timeout")
+            + epoch_samples("g", 1, 1, ok=1, bad=1,
+                            error="connection refused")
+        )
+        report = availability_report(Dataset(doh=doh), runs_per_epoch=1)
+        taxonomy = report["providers"]["g"]["error_taxonomy"]
+        assert sum(taxonomy.values()) == 3
+        assert len(taxonomy) == 2
+
+
+class TestOutages:
+    def test_episode_detection(self):
+        assert outage_episodes([]) == []
+        assert outage_episodes([False, False]) == []
+        assert outage_episodes([True, True, False]) == [(0, 2)]
+        assert outage_episodes([False, True, True]) == [(1, 3)]
+        assert outage_episodes(
+            [True, False, True, True, False, True]
+        ) == [(0, 1), (2, 4), (5, 6)]
+
+    def test_mttr_mtbf_recovered_from_degraded_epochs(self):
+        # g: healthy, dark, dark, healthy, dark, healthy.  Episodes
+        # (1,3) and (4,5): MTTR = (2+1)/2, MTBF = 4-1 = 3 epochs.
+        doh = []
+        for epoch, healthy in enumerate(
+            [True, False, False, True, False, True]
+        ):
+            if healthy:
+                doh += epoch_samples("g", epoch, 1, ok=4, bad=0)
+            else:
+                doh += epoch_samples("g", epoch, 1, ok=0, bad=4)
+        report = availability_report(Dataset(doh=doh), runs_per_epoch=1)
+        entry = report["providers"]["g"]
+        assert entry["outages"] == [
+            {"start_epoch": 1, "end_epoch": 3, "epochs": 2},
+            {"start_epoch": 4, "end_epoch": 5, "epochs": 1},
+        ]
+        assert entry["mttr_epochs"] == pytest.approx(1.5)
+        assert entry["mtbf_epochs"] == pytest.approx(3.0)
+
+    def test_single_episode_has_no_mtbf(self):
+        doh = epoch_samples("g", 0, 1, ok=0, bad=4) + epoch_samples(
+            "g", 1, 1, ok=4, bad=0
+        )
+        entry = availability_report(
+            Dataset(doh=doh), runs_per_epoch=1
+        )["providers"]["g"]
+        assert entry["mttr_epochs"] == pytest.approx(1.0)
+        assert entry["mtbf_epochs"] is None
+
+    def test_degraded_threshold_is_inclusive(self):
+        # Exactly 50% success is degraded (<= threshold); 75% is not.
+        doh = (
+            epoch_samples("g", 0, 1, ok=2, bad=2)
+            + epoch_samples("g", 1, 1, ok=3, bad=1)
+        )
+        entry = availability_report(
+            Dataset(doh=doh), runs_per_epoch=1
+        )["providers"]["g"]
+        assert DEGRADED_THRESHOLD == 0.5
+        assert entry["outages"] == [
+            {"start_epoch": 0, "end_epoch": 1, "epochs": 1}
+        ]
+
+
+class TestProviderUniverse:
+    def test_dark_provider_gets_na_row(self):
+        dataset = Dataset(doh=epoch_samples("g", 0, 1, ok=2, bad=0))
+        report = availability_report(
+            dataset, runs_per_epoch=1, providers=("g", "dark"),
+        )
+        entry = report["providers"]["dark"]
+        assert entry["availability"] is None
+        assert entry["slo_met"] is False
+        assert entry["attempts"] == 0
+        assert all(
+            e["success_rate"] is None for e in entry["per_epoch"]
+        )
+        # A provider dark the whole window is one long outage.
+        assert entry["outages"] == [
+            {"start_epoch": 0, "end_epoch": 1, "epochs": 1}
+        ]
+
+    def test_render_handles_na_and_empty(self):
+        text = render_availability_table(
+            availability_report(Dataset(), runs_per_epoch=1)
+        )
+        assert "(no providers)" in text
+        dataset = Dataset(doh=epoch_samples("g", 0, 1, ok=2, bad=0))
+        text = render_availability_table(
+            availability_report(
+                dataset, runs_per_epoch=1, providers=("g", "dark"),
+            )
+        )
+        assert "n/a" in text
+        assert "dark" in text
+        assert "100.00%" in text

@@ -100,3 +100,43 @@ class TestRender:
         clean = Dataset(doh=[_doh("google", "DE", True)])
         text = render_failure_report(clean)
         assert "(none)" in text
+
+
+class TestZeroAttemptGroups:
+    # Regression: a provider/country in the universe with zero attempts
+    # used to be invisible (or, with a naive rate, a ZeroDivisionError);
+    # it must get a row rendering "n/a".
+
+    def test_zero_attempt_provider_renders_na(self):
+        rates = provider_failure_rates(
+            _dataset(), providers=("quad9", "darkhorse")
+        )
+        by_key = {r.key: r for r in rates}
+        dark = by_key["darkhorse"]
+        assert (dark.attempts, dark.failures) == (0, 0)
+        assert dark.rate == 0.0  # numeric rate stays well-defined
+        assert dark.rate_display == "n/a"
+        # Zero-attempt rows sort after every measured row.
+        assert rates[0].key == "quad9"
+        assert rates[-1].key == "darkhorse"
+
+    def test_zero_attempt_country_renders_na(self):
+        rates = {
+            r.key: r
+            for r in country_failure_rates(
+                _dataset(), countries=("DE", "ZZ")
+            )
+        }
+        assert rates["ZZ"].attempts == 0
+        assert rates["ZZ"].rate_display == "n/a"
+
+    def test_report_renders_na_without_raising(self):
+        text = render_failure_report(
+            Dataset(doh=[_doh("google", "DE", True)])
+        )
+        assert "ZeroDivision" not in text
+        dataset = _dataset()
+        from repro.analysis.failures import render_failure_report as render
+
+        text = render(dataset)
+        assert "n/a" not in text  # every row here has attempts

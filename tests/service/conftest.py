@@ -1,0 +1,89 @@
+"""Fixtures for the longitudinal service suite.
+
+Everything runs at drill scale — a few hundred nodes, one run per
+client per epoch — so a full multi-epoch service takes seconds.  The
+signal drills need a real process to signal; ``service_proc`` starts
+``python -m repro service run`` in a fresh session exactly as an
+operator would.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.service import ServiceConfig
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+def tiny_config(directory, **overrides) -> ServiceConfig:
+    """A drill-scale service: 2 epochs over ~2x230 nodes."""
+    settings = dict(
+        directory=str(directory),
+        master_seed=11,
+        scale=0.004,
+        epochs=2,
+        runs_per_epoch=1,
+        num_shards=2,
+        batch_size=10,
+        providers=("cloudflare", "google"),
+        workers=1,
+    )
+    settings.update(overrides)
+    return ServiceConfig(**settings)
+
+
+def service_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC] + env.get("PYTHONPATH", "").split(os.pathsep)
+    )
+    return env
+
+
+def cli_run_args(config: ServiceConfig):
+    """argv equivalent of *config* for ``python -m repro service run``."""
+    return [
+        sys.executable, "-m", "repro", "service", "run",
+        config.directory,
+        "--master-seed", str(config.master_seed),
+        "--scale", str(config.scale),
+        "--epochs", str(config.epochs),
+        "--runs-per-epoch", str(config.runs_per_epoch),
+        "--shards", str(config.num_shards),
+        "--batch-size", str(config.batch_size),
+        "--workers", str(config.workers),
+    ] + [
+        arg
+        for provider in config.providers
+        for arg in ("--provider", provider)
+    ]
+
+
+@pytest.fixture()
+def service_proc():
+    """Start ``service run`` as a real killable subprocess."""
+    procs = []
+
+    def start(config: ServiceConfig) -> subprocess.Popen:
+        proc = subprocess.Popen(
+            cli_run_args(config),
+            env=service_env(),
+            start_new_session=True,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        procs.append(proc)
+        return proc
+
+    yield start
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=60)

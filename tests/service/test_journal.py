@@ -1,0 +1,84 @@
+"""The crash journal: append-only, torn-tail safe, identity-locked."""
+
+import os
+
+import pytest
+
+from repro.service.journal import (
+    FORMAT_TAG,
+    JournalCorruptError,
+    ServiceJournal,
+)
+
+FP = "a" * 32
+
+
+def test_fresh_journal_writes_header(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    with ServiceJournal(path, FP) as journal:
+        assert journal.records[0].kind == "header"
+        assert journal.records[0].payload == {
+            "fingerprint": FP, "format": FORMAT_TAG,
+        }
+    assert os.path.exists(path)
+
+
+def test_append_and_reopen_preserves_events(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    with ServiceJournal(path, FP) as journal:
+        journal.append("epoch-start", {"epoch": 0, "attempt": 0})
+        journal.append("epoch-done", {"epoch": 0, "dataset_digest": "x"})
+        journal.append("epoch-start", {"epoch": 1, "attempt": 0})
+    with ServiceJournal(path, FP) as journal:
+        assert journal.epochs_done() == {
+            0: {"epoch": 0, "dataset_digest": "x"}
+        }
+        assert journal.next_epoch() == 1
+        assert not journal.service_complete()
+        assert journal.epoch_start_payload(1) == {
+            "epoch": 1, "attempt": 0,
+        }
+        journal.append("epoch-done", {"epoch": 1, "dataset_digest": "y"})
+        journal.append("service-done", {"epochs": 2})
+    with ServiceJournal(path, FP) as journal:
+        assert journal.next_epoch() == 2
+        assert journal.service_complete()
+
+
+def test_torn_tail_is_truncated_on_open(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    with ServiceJournal(path, FP) as journal:
+        journal.append("epoch-done", {"epoch": 0, "dataset_digest": "x"})
+    with open(path, "ab") as handle:
+        handle.write(b'{"k":"epoch-done","seq":2,"p')  # kill mid-append
+    with ServiceJournal(path, FP) as journal:
+        assert journal.epochs_done() == {
+            0: {"epoch": 0, "dataset_digest": "x"}
+        }
+        journal.append("shutdown", {"signal": 15})
+    with ServiceJournal(path, FP) as journal:
+        assert [r.kind for r in journal.records] == [
+            "header", "epoch-done", "shutdown",
+        ]
+
+
+def test_foreign_fingerprint_rejected(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    with ServiceJournal(path, FP):
+        pass
+    with pytest.raises(JournalCorruptError, match="different service"):
+        ServiceJournal(path, "b" * 32).open()
+
+
+def test_mid_file_damage_rejected(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    with ServiceJournal(path, FP) as journal:
+        for epoch in range(4):
+            journal.append(
+                "epoch-done", {"epoch": epoch, "dataset_digest": "x"}
+            )
+    with open(path, "r+b") as handle:
+        handle.seek(os.path.getsize(path) // 2)
+        handle.write(b"\xff")
+    with pytest.raises(JournalCorruptError, match="corrupt mid-file"):
+        ServiceJournal(path, FP).open()

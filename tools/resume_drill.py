@@ -7,15 +7,16 @@ run in CI on every push (the ``resume`` job):
 2. start the same campaign sharded and checkpointed in a subprocess,
    wait until its ledgers hold committed batches, then SIGKILL the
    whole process group mid-measurement,
-3. resume from the checkpoint directory with ``--resume auto``,
-4. fail (exit 1) unless the resumed dataset is **byte-identical** to
+3. verify the killed checkpoint classifies as *resumable* (clean or
+   torn tail) — a clean kill must never take the quarantine path,
+4. resume from the checkpoint directory with ``--resume auto``,
+5. fail (exit 1) unless the resumed dataset is **byte-identical** to
    the baseline.
 
 Run:  python tools/resume_drill.py [--scale S] [--workers N]
 """
 
 import argparse
-import glob
 import json
 import os
 import signal
@@ -23,9 +24,11 @@ import subprocess
 import sys
 import time
 
+from repro.ckpt.quarantine import verify_checkpoint_dir
 from repro.core.config import ReproConfig
 from repro.parallel import run_parallel_campaign
 from repro.proxy.population import PopulationConfig
+from repro.service import paths as service_paths
 
 
 def build_config(args) -> ReproConfig:
@@ -50,7 +53,7 @@ def run_campaign(args, checkpoint_dir=None, resume="never"):
 def committed_batches(checkpoint_dir: str) -> int:
     """Batch records fsync'd across every shard ledger so far."""
     total = 0
-    for path in glob.glob(os.path.join(checkpoint_dir, "*.ledger")):
+    for path in service_paths.ledger_paths(checkpoint_dir):
         try:
             with open(path, "rb") as handle:
                 total += handle.read().count(b'"k":"batch"')
@@ -127,13 +130,29 @@ def main() -> int:
     print("  child {} with {} batch(es) in the ledgers".format(
         fate, committed_batches(checkpoint_dir)), flush=True)
 
+    # A clean SIGKILL leaves at worst a torn tail — never mid-file
+    # corruption.  If this checkpoint classifies as quarantine-worthy,
+    # the ledger commit protocol is broken and resuming would hide it.
+    health = verify_checkpoint_dir(checkpoint_dir)
+    print("  checkpoint health after kill: {}".format(health.status),
+          flush=True)
+    if not health.resumable:
+        print("FAIL: clean kill produced a non-resumable checkpoint "
+              "({}); the quarantine path must not be taken here:".format(
+                  health.status))
+        for problem in health.problems:
+            print("  " + problem)
+        return 1
+
     print("resume: --resume auto from {}".format(checkpoint_dir),
           flush=True)
     resumed = run_campaign(args, checkpoint_dir=checkpoint_dir,
                            resume="auto")
     resumed.dataset.save(resumed_path)
 
-    with open(os.path.join(checkpoint_dir, "checkpoint.json")) as handle:
+    with open(
+        service_paths.checkpoint_manifest_path(checkpoint_dir)
+    ) as handle:
         manifest = json.load(handle)
     for unit in manifest["runs"][-1]["units"]:
         print("  {}: replayed {}, measured {}".format(
