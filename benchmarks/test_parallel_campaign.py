@@ -1,31 +1,46 @@
-"""Infrastructure benchmark — sharded executor vs the serial campaign.
+"""Infrastructure benchmark — warm-pool executor vs the serial campaign.
 
 Not a paper artifact: runs the same measurement workload twice — once
 through the legacy serial :class:`Campaign`, once through
-``repro.parallel.run_parallel_campaign`` with several worker processes
-— and records measurements per wall-clock second for both, plus the
-speedup, in ``BENCH_parallel_campaign.json`` at the repo root.
+``repro.parallel.run_parallel_campaign`` on the persistent warm worker
+pool — and records measurements per wall-clock second for both, plus
+the speedup, in ``BENCH_parallel_campaign.json`` at the repo root.
 
-The speedup assertion is gated on the machine's core count: CI runners
-with >= 4 cores must show >= 2x; 2–3 cores >= 1.3x; a single-core box
-only records the numbers (process parallelism cannot help there).
+Honesty rules, learned the hard way (the pre-pool artifact recorded a
+0.706 "speedup" as if it were fine):
+
+* ``cores`` is :func:`default_worker_count` — the CPUs this process
+  can actually schedule on (affinity/cgroup aware), not the box's
+  nominal count;
+* ``per_core_efficiency`` = speedup / workers is recorded so a
+  "2.0x on 8 workers" result reads as the 0.25 efficiency it is;
+* the speedup gate **skips visibly** (``pytest.skip``) on starved
+  machines instead of silently passing — but only after writing the
+  artifact, so the numbers are always published;
+* ``gate`` in the artifact says which bar applied and whether it was
+  enforced or skipped.
+
+The parallel run sets ``force_pool=True``: the benchmark exists to
+measure the pooled path, never the break-even inline fallback.
 
 Scale is controlled with ``REPRO_PARALLEL_BENCH_SCALE`` (default 0.01,
-about 480 exit nodes — enough work for the pool to amortise the
-per-shard world build).
+about 480 exit nodes — enough work for the pool to amortise its one
+world build per worker).
 """
 
 import json
-import multiprocessing
 import os
 import pathlib
 import time
 
+import pytest
+
 from repro.core.campaign import Campaign
-from repro.ioutil import atomic_write_json
 from repro.core.config import ReproConfig
 from repro.core.world import build_world
+from repro.ioutil import atomic_write_json
 from repro.parallel import run_parallel_campaign
+from repro.parallel.executor import default_worker_count
 from repro.proxy.population import PopulationConfig
 
 BENCH_SEED = 20210402
@@ -43,11 +58,11 @@ def _measurements(result) -> int:
 
 
 def test_sharded_executor_speedup():
+    cores = default_worker_count()
+    workers = min(4, cores)
     config = ReproConfig(
         seed=BENCH_SEED, population=PopulationConfig(scale=_bench_scale())
     )
-    cores = multiprocessing.cpu_count()
-    workers = min(4, cores)
 
     started = time.perf_counter()
     world = build_world(config)
@@ -58,39 +73,52 @@ def test_sharded_executor_speedup():
     started = time.perf_counter()
     parallel_result = run_parallel_campaign(
         config,
-        workers=workers,
+        workers=max(2, workers),
         num_shards=NUM_SHARDS,
         atlas_probes_per_country=0,
+        force_pool=True,
     )
     parallel_s = time.perf_counter() - started
     parallel_count = _measurements(parallel_result)
 
     assert parallel_count == serial_count, (
-        "sharded run produced {} measurements, serial {}".format(
+        "pooled run produced {} measurements, serial {}".format(
             parallel_count, serial_count
         )
     )
 
     speedup = serial_s / parallel_s if parallel_s else float("inf")
+    if cores >= 4:
+        gate = {"bar": 2.0, "status": "enforced"}
+    elif cores >= 2:
+        gate = {"bar": 1.3, "status": "enforced"}
+    else:
+        gate = {"bar": None, "status": "skipped (single schedulable core)"}
     report = {
         "scale": _bench_scale(),
         "cores": cores,
-        "workers": workers,
+        "workers": max(2, workers),
         "num_shards": NUM_SHARDS,
+        "mode": "warm-pool (force_pool)",
         "measurements": serial_count,
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
         "serial_meas_per_sec": round(serial_count / serial_s, 1),
         "parallel_meas_per_sec": round(parallel_count / parallel_s, 1),
         "speedup": round(speedup, 3),
+        "per_core_efficiency": round(speedup / max(2, workers), 3),
+        "gate": gate,
     }
     atomic_write_json(str(OUT_PATH), report, indent=2,
                       trailing_newline=True)
     print("\n" + json.dumps(report, indent=2))
 
-    # Process parallelism cannot beat serial on a starved machine; only
-    # hold the bar where the cores exist to clear it.
-    if cores >= 4:
-        assert speedup >= 2.0, report
-    elif cores >= 2:
-        assert speedup >= 1.3, report
+    # Process parallelism cannot beat serial on a starved machine, but
+    # that must be a visible skip in the test report — never a silent
+    # pass that lets a regression hide behind a small runner.
+    if cores < 2:
+        pytest.skip(
+            "speedup gate skipped: only {} schedulable core(s); "
+            "artifact written with speedup {:.3f}".format(cores, speedup)
+        )
+    assert speedup >= gate["bar"], report

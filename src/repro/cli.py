@@ -93,6 +93,13 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--shard-retries", type=int, default=2,
                           help="max retries per shard task after a worker "
                                "crash or watchdog timeout")
+    campaign.add_argument("--parallel-break-even", type=int, default=None,
+                          metavar="NODES",
+                          help="minimum nodes per shard before worker "
+                               "processes pay off; campaigns below the "
+                               "line run inline (0 = always use the "
+                               "pool; default 32, or env "
+                               "REPRO_PARALLEL_BREAK_EVEN)")
     campaign.add_argument("--observe", action="store_true",
                           help="record phase traces and metrics; writes "
                                "<out>.traces.json next to the dataset "
@@ -361,6 +368,7 @@ def _cmd_campaign(args) -> int:
             observe=args.observe,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
+            break_even_nodes=args.parallel_break_even,
         )
     else:
         result = _run_serial_campaign(args, config)

@@ -96,6 +96,15 @@ class WorldPlan:
             remote_hub=remote_hub,
         )
 
+    def fleet_size(self) -> int:
+        """Total exit nodes this plan's world will build.
+
+        The executor's break-even fallback uses this to predict the
+        per-shard workload *before* any world exists — the fitted
+        counts are exact, not an estimate.
+        """
+        return sum(self.counts.values())
+
     def check_population(self, population: PopulationConfig) -> None:
         """Raise if this plan was fitted for a different population."""
         if population != self.population:

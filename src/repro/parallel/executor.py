@@ -21,25 +21,29 @@ worker count**, because
 ``workers=1`` runs the same shard tasks inline in this process, so it
 is the reference execution the parity tests compare against.
 
-Worker resilience: tasks run under :func:`_execute_tasks`, which
-detects a worker process that died (``BrokenProcessPool`` — e.g.
-OOM-killed or segfaulted), applies an optional per-round watchdog
-timeout for hung workers, and retries failed tasks in a fresh pool up
-to ``max_shard_retries`` times.  A task that keeps failing raises
-:class:`ShardExecutionError` naming it — the executor never hangs and
-never fails anonymously.  Retries are safe because shard execution is
-a pure function of ``(config, spec)``.
+Multi-worker runs dispatch through a persistent
+:class:`~repro.parallel.pool.WarmWorkerPool`: worker processes are
+spawned once, receive the pickled ``(config, WorldPlan)`` pair once
+through shared memory (:meth:`WarmWorkerPool.prime`), build their
+world once and restore a pristine snapshot per task, and ship samples
+back as one packed binary blob per shard
+(:mod:`repro.parallel.wirepack`).  A worker that crashes or hangs is
+respawned (terminate→kill escalation, never a deadlocked shutdown) and
+its task retried up to ``max_shard_retries`` times; a task that keeps
+failing raises :class:`ShardExecutionError` naming it — the executor
+never hangs and never fails anonymously.  Retries are safe because
+shard execution is a pure function of ``(config, spec)``.
+
+Small campaigns fall back to inline execution automatically: below
+:func:`break_even_shard_nodes` nodes per shard (measured break-even —
+pool spawn + prime + per-worker world build costs more than it saves)
+the pool is skipped entirely unless the caller forces it or supplies
+an already-warm pool.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import (
-    ProcessPoolExecutor,
-    TimeoutError as _FuturesTimeout,
-    as_completed,
-)
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.ckpt.checkpoint import CampaignCheckpoint
@@ -50,11 +54,19 @@ from repro.dataset.builder import DatasetBuilder
 from repro.geo.geolocate import GeolocationService
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceRecorder
+from repro.parallel.pool import (
+    PooledAtlasTask,
+    PooledShardTask,
+    WarmWorkerPool,
+    run_pooled_atlas,
+    run_pooled_shard,
+)
 from repro.parallel.sharding import (
     DEFAULT_NUM_SHARDS,
     ShardSpec,
     make_shards,
 )
+from repro.parallel.wirepack import unpack_atlas_samples, unpack_shard_result
 from repro.parallel.worker import (
     AtlasTask,
     ShardResult,
@@ -65,6 +77,7 @@ from repro.parallel.worker import (
 
 __all__ = [
     "ShardExecutionError",
+    "break_even_shard_nodes",
     "default_worker_count",
     "run_parallel_campaign",
 ]
@@ -109,14 +122,24 @@ class ShardExecutionError(RuntimeError):
         self.cause = cause
 
 
-def _terminate_workers(pool: ProcessPoolExecutor) -> None:
-    """Forcibly end a pool's worker processes (hung-worker path)."""
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.terminate()
-        except Exception:
-            pass
+#: Below this many exit nodes per shard, pool overhead (process spawn,
+#: prime transport, one world build per worker) exceeds the measurement
+#: work it parallelises; campaigns under the line run inline instead.
+#: Measured on the benchmark harness; override with the
+#: ``REPRO_PARALLEL_BREAK_EVEN`` environment variable (0 disables the
+#: fallback entirely).
+DEFAULT_BREAK_EVEN_SHARD_NODES = 32
+
+
+def break_even_shard_nodes() -> int:
+    """The configured break-even threshold (nodes per shard)."""
+    raw = os.environ.get("REPRO_PARALLEL_BREAK_EVEN")
+    if raw is None:
+        return DEFAULT_BREAK_EVEN_SHARD_NODES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_BREAK_EVEN_SHARD_NODES
 
 
 def _execute_tasks(
@@ -128,57 +151,21 @@ def _execute_tasks(
 ) -> List[object]:
     """Run every item's ``fn(arg)`` across *workers* processes.
 
-    Returns results aligned with *items*.  Dead workers are detected
-    (``BrokenProcessPool`` surfaces through the futures), hung rounds
-    are cut off after *timeout_s* seconds, and failed items are retried
-    in a fresh pool up to *max_retries* times before
-    :class:`ShardExecutionError` names the culprit.
+    A convenience wrapper that runs one batch on a throwaway
+    :class:`WarmWorkerPool` — same crash/hang/retry semantics as the
+    pooled campaign path, without the warm-state reuse.  Kept as the
+    generic work-dispatch entry point (the resilience tests drive it
+    with arbitrary functions).
     """
-    results: dict = {}
-    attempts = {index: 0 for index in range(len(items))}
-    pending = list(range(len(items)))
-    context = multiprocessing.get_context("spawn")
-
-    while pending:
-        failed: dict = {}
-        pool = ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)), mp_context=context
+    if not items:
+        return []
+    pool = WarmWorkerPool(min(workers, len(items)))
+    try:
+        return pool.run_items(
+            items, timeout_s=timeout_s, max_retries=max_retries, tick=tick
         )
-        try:
-            undone = {}
-            for index in pending:
-                fn, arg, _label = items[index]
-                undone[pool.submit(fn, arg)] = index
-            try:
-                for future in as_completed(list(undone), timeout=timeout_s):
-                    index = undone.pop(future)
-                    try:
-                        results[index] = future.result()
-                        if tick is not None:
-                            tick()
-                    except Exception as exc:
-                        failed[index] = "{}: {}".format(
-                            type(exc).__name__, exc
-                        )
-            except _FuturesTimeout:
-                # Watchdog: whatever has not finished is presumed hung.
-                for future, index in undone.items():
-                    future.cancel()
-                    failed[index] = (
-                        "no result within {:.0f}s watchdog "
-                        "(worker hung?)".format(timeout_s)
-                    )
-                _terminate_workers(pool)
-        finally:
-            pool.shutdown(wait=True, cancel_futures=True)
-
-        for index in sorted(failed):
-            attempts[index] += 1
-            if attempts[index] > max_retries:
-                raise ShardExecutionError(items[index][2], failed[index])
-        pending = sorted(failed)
-
-    return [results[index] for index in range(len(items))]
+    finally:
+        pool.close()
 
 
 def run_parallel_campaign(
@@ -197,6 +184,9 @@ def run_parallel_campaign(
     run_index_offset: int = 0,
     client_seed_offset: int = 0,
     name_prefix: str = "",
+    pool: Optional[WarmWorkerPool] = None,
+    force_pool: bool = False,
+    break_even_nodes: Optional[int] = None,
 ) -> CampaignResult:
     """Run the full campaign across *workers* processes.
 
@@ -232,6 +222,18 @@ def run_parallel_campaign(
     *client_seed_offset*, and *name_prefix* is prepended to the shard
     query-name tags so distinct campaigns stay structurally disjoint.
     All three are part of the checkpoint fingerprint.
+
+    *pool*, if given, is an already-running :class:`WarmWorkerPool`
+    this campaign dispatches through (and leaves running — the caller
+    owns its lifetime; the service supervisor reuses one pool across
+    epochs this way).  Without one, a multi-worker run creates a
+    temporary pool — unless the predicted per-shard workload is below
+    :func:`break_even_shard_nodes` (*break_even_nodes* overrides the
+    threshold), in which case it falls back to inline execution so
+    small campaigns never pay pool overhead.  *force_pool* disables
+    the fallback (the parity and benchmark suites need the pooled path
+    exercised at any scale).  None of these affect the dataset: pooled
+    and inline execution are byte-identical by construction.
     """
     if workers is None:
         workers = default_worker_count()
@@ -245,6 +247,27 @@ def run_parallel_campaign(
     # The deterministic, RNG-free slice of every world build, computed
     # once here instead of once per worker process.
     plan = WorldPlan.for_config(config)
+
+    # Break-even fallback: predict the per-shard workload from the
+    # plan (exact — the fitted counts are what the world will build)
+    # and skip the pool when it cannot pay for itself.  An explicit
+    # pool means the caller already paid the spawn cost, so use it.
+    # A worker_crash drill is never downgraded: its os._exit needs a
+    # worker process to land in, not this one.
+    crash_drill = (
+        config.faults is not None
+        and config.faults.worker_crash is not None
+    )
+    if workers > 1 and pool is None and not force_pool and not crash_drill:
+        threshold = (
+            break_even_shard_nodes()
+            if break_even_nodes is None else max(0, break_even_nodes)
+        )
+        fleet = plan.fleet_size()
+        if max_nodes is not None:
+            fleet = min(fleet, max_nodes)
+        if threshold > 0 and fleet < threshold * num_shards:
+            workers = 1
 
     checkpoint: Optional[CampaignCheckpoint] = None
     fingerprint = ""
@@ -296,39 +319,81 @@ def run_parallel_campaign(
             fingerprint=fingerprint,
         )
 
-    items: List[WorkItem] = [
-        (run_measurement_shard, task, "shard-{}".format(task.spec.shard_index))
-        for task in shard_tasks
-    ]
-    if atlas_task is not None:
-        items.append((run_atlas_task, atlas_task, "atlas"))
-
+    total_tasks = len(shard_tasks) + (1 if atlas_task is not None else 0)
     done = 0
 
     def tick() -> None:
         nonlocal done
         done += 1
         if progress is not None:
-            progress(done, len(items))
+            progress(done, total_tasks)
 
     if workers == 1:
-        outputs: List[object] = []
-        for fn, arg, _label in items:
-            outputs.append(fn(arg))
+        shard_results: List[ShardResult] = []
+        for task in shard_tasks:
+            shard_results.append(run_measurement_shard(task))
+            tick()
+        atlas_samples: List[AtlasRawSample] = []
+        if atlas_task is not None:
+            atlas_samples = list(run_atlas_task(atlas_task))
             tick()
     else:
-        outputs = _execute_tasks(
-            items,
-            workers,
-            timeout_s=shard_timeout_s,
-            max_retries=max_shard_retries,
-            tick=tick,
+        # Pooled dispatch: the (config, plan) pair crosses the process
+        # boundary once via prime(); each task ships only its slim
+        # per-shard fields and returns one packed binary blob.
+        items: List[WorkItem] = [
+            (
+                run_pooled_shard,
+                PooledShardTask(
+                    spec=task.spec,
+                    observe=task.observe,
+                    checkpoint_dir=task.checkpoint_dir,
+                    fingerprint=task.fingerprint,
+                    run_index_offset=task.run_index_offset,
+                    client_seed_offset=task.client_seed_offset,
+                    name_prefix=task.name_prefix,
+                ),
+                "shard-{}".format(task.spec.shard_index),
+            )
+            for task in shard_tasks
+        ]
+        if atlas_task is not None:
+            items.append(
+                (
+                    run_pooled_atlas,
+                    PooledAtlasTask(
+                        probes_per_country=atlas_task.probes_per_country,
+                        repetitions=atlas_task.repetitions,
+                        client_seed=atlas_task.client_seed,
+                        name_tag=atlas_task.name_tag,
+                        checkpoint_dir=atlas_task.checkpoint_dir,
+                        fingerprint=atlas_task.fingerprint,
+                    ),
+                    "atlas",
+                )
+            )
+        owns_pool = pool is None
+        if owns_pool:
+            pool = WarmWorkerPool(min(workers, len(items)))
+        try:
+            pool.prime(config, plan)
+            outputs = pool.run_items(
+                items,
+                timeout_s=shard_timeout_s,
+                max_retries=max_shard_retries,
+                tick=tick,
+            )
+        finally:
+            if owns_pool:
+                pool.close()
+        shard_results = [
+            unpack_shard_result(packed)
+            for packed in outputs[: len(shard_tasks)]
+        ]
+        atlas_samples = (
+            unpack_atlas_samples(outputs[len(shard_tasks)])
+            if atlas_task is not None else []
         )
-
-    shard_results: List[ShardResult] = list(outputs[: len(shard_tasks)])
-    atlas_samples: List[AtlasRawSample] = (
-        list(outputs[len(shard_tasks)]) if atlas_task is not None else []
-    )
 
     result = _merge(config, shard_results, atlas_samples)
     if checkpoint is not None:

@@ -1,0 +1,637 @@
+"""Persistent warm worker pool for the sharded campaign executor.
+
+The original executor paid three taxes on every shard task: a fresh
+``ProcessPoolExecutor`` (interpreter spawn + imports) per retry round,
+a full ``ReproConfig + WorldPlan`` pickle inside every ``ShardTask``,
+and — dominating everything — a complete world rebuild per task.  At
+campaign scale those fixed costs exceeded the measurement work itself
+and the "parallel" executor ran *slower* than serial (speedup 0.706).
+
+:class:`WarmWorkerPool` keeps long-lived worker processes that amortise
+all three:
+
+* **Prime once, run many.**  :meth:`prime` ships the pickled
+  ``(config, WorldPlan)`` pair to the workers **once per campaign**
+  through a :mod:`multiprocessing.shared_memory` segment (inline bytes
+  as fallback), not once per task.  Tasks then cross the queue as slim
+  per-shard fields only.
+* **Build once, restore per task.**  Each worker process builds its
+  world on first use, drains the boot events, and captures a pristine
+  state snapshot (:func:`~repro.ckpt.worldstate.capture_world_state`).
+  Every later task **restores** that snapshot (~100× cheaper than a
+  rebuild) instead of rebuilding; a task that dies mid-simulation
+  marks the cached world dirty so the next task rebuilds from scratch.
+* **Binary results.**  Shard samples return as one packed blob per
+  shard (:mod:`repro.parallel.wirepack`), not thousands of pickled
+  dataclasses.
+
+Crash/hang handling never deadlocks the parent: a dead worker is
+detected by polling, its task is retried on a respawned worker (safe —
+shard execution is a pure function of ``(config, spec)``, and the
+shard ledger truncation/resume makes retries exact under
+checkpointing), and a hung worker is escalated ``terminate() → grace →
+kill()`` so even a SIGTERM-ignoring child cannot wedge shutdown.
+
+Byte-identity invariant: everything the pool changes is transport and
+world *reuse*; the restored world is indistinguishable from a fresh
+build (validated by the parity suite), so merged datasets stay
+byte-identical to inline execution for any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "PooledAtlasTask",
+    "PooledShardTask",
+    "WarmWorkerPool",
+    "run_pooled_atlas",
+    "run_pooled_shard",
+]
+
+#: One unit of worker work: ``(function, argument, label)``.  The
+#: function must be importable by qualified name (spawn pickling).
+WorkItem = Tuple[Callable, object, str]
+
+#: How long a worker blocks on its task queue before re-checking that
+#: the parent is still alive (orphan suicide, see ``_worker_main``).
+_IDLE_POLL_S = 5.0
+
+#: Parent-side result poll interval; also bounds how often liveness
+#: and watchdog deadlines are re-checked.
+_RESULT_POLL_S = 0.05
+
+
+class PoolError(RuntimeError):
+    """The pool itself (not a task) failed."""
+
+
+# ---------------------------------------------------------------------------
+# Worker-side: per-process warm state
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process cache: the primed (config, plan) pair plus the
+#: lazily built world and its pristine post-boot state snapshot.
+#: Module-level because the spawn entry point is a plain function.
+_WORKER_STATE: dict = {
+    "generation": None,
+    "config": None,
+    "plan": None,
+    "world": None,
+    "pristine": None,
+    "dirty": False,
+}
+
+
+def _attach_shm_untracked(name: str):
+    """Attach to an existing shared-memory segment without registering
+    it with this process's resource tracker.
+
+    The parent owns the segment's lifetime.  On Python < 3.13 an
+    attach-side ``SharedMemory(name=...)`` still registers the name
+    with the (pool-wide, shared) tracker, and with several workers
+    attaching/unregistering the same name the tracker's bookkeeping
+    set underflows and logs ``KeyError`` noise at exit — so suppress
+    the registration instead of undoing it.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    try:
+        # Python 3.13+: first-class opt-out.
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    original = resource_tracker.register
+
+    def _skip_shared_memory(res_name, rtype):
+        if rtype != "shared_memory":
+            original(res_name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _apply_prime(generation: int, transport: str, payload) -> None:
+    """Install a newly shipped ``(config, plan)`` pair in this process."""
+    state = _WORKER_STATE
+    if state["generation"] == generation:
+        return
+    if transport == "shm":
+        name, size = payload
+        try:
+            segment = _attach_shm_untracked(name)
+        except FileNotFoundError:
+            # A stale prime: the parent already replaced this segment
+            # with a newer generation (queued right behind this
+            # message).  Drop to unprimed and wait for it.
+            state["generation"] = None
+            return
+        try:
+            blob = bytes(segment.buf[:size])
+        finally:
+            segment.close()
+    else:
+        blob = payload
+    config, plan = pickle.loads(blob)
+    state.update(
+        generation=generation,
+        config=config,
+        plan=plan,
+        world=None,
+        pristine=None,
+        dirty=False,
+    )
+
+
+def _checkout_world():
+    """The warm world, pristine — built on first use, restored after.
+
+    Returns the process-cached world reset to its post-boot state.  The
+    cache is marked dirty for the duration of the task; callers clear
+    the flag after a clean finish, so a task that died mid-simulation
+    (exception, crash fault) leaves ``dirty=True`` and the next task
+    rebuilds instead of restoring half-mutated state.
+    """
+    from repro.ckpt.worldstate import capture_world_state, restore_world_state
+    from repro.core.world import build_world
+
+    state = _WORKER_STATE
+    if state["config"] is None:
+        raise PoolError("worker is not primed (no config installed)")
+    if state["world"] is None or state["dirty"]:
+        world = build_world(state["config"], plan=state["plan"])
+        # Drain the t=0 boot events so the pristine snapshot sits at a
+        # batch boundary (capture refuses a non-drained heap).
+        world.sim.run()
+        state["world"] = world
+        state["pristine"] = capture_world_state(world)
+    else:
+        restore_world_state(state["world"], state["pristine"])
+    state["dirty"] = True
+    return state["world"]
+
+
+@dataclass(frozen=True)
+class PooledShardTask:
+    """A :class:`~repro.parallel.worker.ShardTask` minus the payload the
+    worker already holds from :meth:`WarmWorkerPool.prime` (config and
+    plan) — what actually crosses the queue per shard."""
+
+    spec: object
+    observe: bool = False
+    checkpoint_dir: Optional[str] = None
+    fingerprint: str = ""
+    run_index_offset: int = 0
+    client_seed_offset: int = 0
+    name_prefix: str = ""
+
+
+@dataclass(frozen=True)
+class PooledAtlasTask:
+    """Slim form of :class:`~repro.parallel.worker.AtlasTask`."""
+
+    probes_per_country: int
+    repetitions: int
+    client_seed: int
+    name_tag: str = "a-"
+    checkpoint_dir: Optional[str] = None
+    fingerprint: str = ""
+
+
+def run_pooled_shard(slim: PooledShardTask):
+    """Worker entry point: run one shard on the warm world.
+
+    Returns a :class:`~repro.parallel.wirepack.PackedShardResult` — the
+    parent decodes it with
+    :func:`~repro.parallel.wirepack.unpack_shard_result`.
+    """
+    from repro.parallel.worker import ShardTask, run_measurement_shard
+    from repro.parallel.wirepack import pack_shard_result
+
+    state = _WORKER_STATE
+    if state["config"] is None:
+        raise PoolError("worker is not primed (no config installed)")
+    task = ShardTask(
+        config=state["config"],
+        spec=slim.spec,
+        observe=slim.observe,
+        plan=state["plan"],
+        checkpoint_dir=slim.checkpoint_dir,
+        fingerprint=slim.fingerprint,
+        run_index_offset=slim.run_index_offset,
+        client_seed_offset=slim.client_seed_offset,
+        name_prefix=slim.name_prefix,
+    )
+    used: List[bool] = []
+
+    def factory():
+        world = _checkout_world()
+        used.append(True)
+        return world
+
+    result = run_measurement_shard(task, world_factory=factory)
+    if used:
+        state["dirty"] = False
+    return pack_shard_result(result)
+
+
+def run_pooled_atlas(slim: PooledAtlasTask) -> bytes:
+    """Worker entry point: run the Atlas supplement on the warm world."""
+    from repro.parallel.worker import AtlasTask, run_atlas_task
+    from repro.parallel.wirepack import pack_atlas_samples
+
+    state = _WORKER_STATE
+    if state["config"] is None:
+        raise PoolError("worker is not primed (no config installed)")
+    task = AtlasTask(
+        config=state["config"],
+        probes_per_country=slim.probes_per_country,
+        repetitions=slim.repetitions,
+        client_seed=slim.client_seed,
+        name_tag=slim.name_tag,
+        plan=state["plan"],
+        checkpoint_dir=slim.checkpoint_dir,
+        fingerprint=slim.fingerprint,
+    )
+    used: List[bool] = []
+
+    def factory():
+        world = _checkout_world()
+        used.append(True)
+        return world
+
+    samples = run_atlas_task(task, world_factory=factory)
+    if used:
+        state["dirty"] = False
+    return pack_atlas_samples(samples)
+
+
+def _worker_main(uid: int, task_q, result_q, parent_pid: int) -> None:
+    """Worker process loop: apply primes, run tasks, report results."""
+    while True:
+        try:
+            message = task_q.get(timeout=_IDLE_POLL_S)
+        except queue_mod.Empty:
+            # Orphan suicide: if the parent died (SIGKILL soak drills)
+            # we must not linger as a zombie worker.
+            if os.getppid() != parent_pid:
+                return
+            continue
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "prime":
+            _, generation, transport, payload = message
+            try:
+                _apply_prime(generation, transport, payload)
+            except Exception:
+                _WORKER_STATE["generation"] = None
+            continue
+        _, index, fn, arg = message
+        try:
+            payload = fn(arg)
+        except Exception as exc:
+            result_q.put(
+                (uid, index, "err",
+                 "{}: {}".format(type(exc).__name__, exc))
+            )
+        else:
+            result_q.put((uid, index, "ok", payload))
+
+
+# ---------------------------------------------------------------------------
+# Parent-side pool
+# ---------------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("uid", "process", "task_q", "busy_serial", "deadline")
+
+    def __init__(self, uid, process, task_q):
+        self.uid = uid
+        self.process = process
+        self.task_q = task_q
+        #: Serial of the in-flight task, or None when idle.
+        self.busy_serial: Optional[int] = None
+        #: Watchdog deadline (perf_counter) for the in-flight task.
+        self.deadline: Optional[float] = None
+
+
+class WarmWorkerPool:
+    """A fixed-size pool of long-lived ``spawn`` worker processes.
+
+    Lifecycle::
+
+        pool = WarmWorkerPool(workers=4)
+        pool.prime(config, plan)          # once per campaign/epoch
+        outputs = pool.run_items(items)   # any number of times
+        pool.close()                      # terminate → grace → kill
+
+    The same pool instance may be primed again with a different config
+    (the service supervisor does this across epochs); workers drop
+    their cached world and rebuild on the next task.
+    """
+
+    def __init__(self, workers: int, grace_s: float = 2.0) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.grace_s = grace_s
+        self._context = multiprocessing.get_context("spawn")
+        self._result_q = self._context.Queue()
+        self._handles: List[_WorkerHandle] = []
+        self._next_uid = 0
+        #: Monotonic task serial: every dispatch (including a retry of
+        #: the same item) gets a fresh serial, so results from killed
+        #: or superseded workers — possibly from an earlier
+        #: :meth:`run_items` call — can never be mistaken for live ones.
+        self._task_serial = 0
+        self._generation = 0
+        self._prime_message: Optional[tuple] = None
+        self._shm = None
+        self._closed = False
+        for _ in range(workers):
+            self._handles.append(self._spawn_worker())
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        uid = self._next_uid
+        self._next_uid += 1
+        task_q = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(uid, task_q, self._result_q, os.getpid()),
+            daemon=True,
+        )
+        process.start()
+        handle = _WorkerHandle(uid, process, task_q)
+        if self._prime_message is not None:
+            task_q.put(self._prime_message)
+        return handle
+
+    def _stop_process(self, process) -> None:
+        """terminate → grace → kill: never trust SIGTERM alone.
+
+        A worker stuck in an uninterruptible state (or one that
+        installed a SIGTERM handler) would otherwise survive
+        ``terminate()`` and wedge any join; SIGKILL cannot be ignored.
+        """
+        if not process.is_alive():
+            return
+        try:
+            process.terminate()
+        except Exception:
+            pass
+        process.join(self.grace_s)
+        if process.is_alive():
+            try:
+                process.kill()
+            except Exception:
+                pass
+            process.join(self.grace_s)
+
+    def _respawn(self, slot: int) -> _WorkerHandle:
+        """Replace the worker in *slot* with a fresh primed process."""
+        old = self._handles[slot]
+        self._stop_process(old.process)
+        try:
+            old.task_q.close()
+            old.task_q.cancel_join_thread()
+        except Exception:
+            pass
+        handle = self._spawn_worker()
+        self._handles[slot] = handle
+        return handle
+
+    # -- priming ------------------------------------------------------------
+
+    def prime(self, config, plan) -> None:
+        """Ship ``(config, plan)`` to every worker, once.
+
+        The pair is pickled a single time and published through a
+        shared-memory segment all workers read — O(1) transport no
+        matter how many shards or workers — with inline queue bytes as
+        the fallback when shared memory is unavailable.
+        """
+        if self._closed:
+            raise PoolError("pool is closed")
+        blob = pickle.dumps((config, plan), protocol=pickle.HIGHEST_PROTOCOL)
+        self._generation += 1
+        self._release_shm()
+        transport = "inline"
+        payload: object = blob
+        try:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(create=True, size=len(blob))
+            segment.buf[: len(blob)] = blob
+            self._shm = segment
+            transport = "shm"
+            payload = (segment.name, len(blob))
+        except Exception:
+            self._shm = None
+        self._prime_message = ("prime", self._generation, transport, payload)
+        # A worker still busy at prime time is running a task from an
+        # abandoned dispatch (e.g. an epoch cut short by a deadline
+        # signal); recycle it rather than queueing behind a zombie.
+        # _spawn_worker delivers the new prime to replacements, and
+        # re-delivering the same generation below is a no-op.
+        for slot, handle in enumerate(self._handles):
+            if handle.busy_serial is not None:
+                self._respawn(slot)
+        for handle in self._handles:
+            handle.task_q.put(self._prime_message)
+
+    def _release_shm(self) -> None:
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except Exception:
+                pass
+            self._shm = None
+
+    # -- dispatch -----------------------------------------------------------
+
+    def run_items(
+        self,
+        items: Sequence[WorkItem],
+        timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+        tick: Optional[Callable[[], None]] = None,
+    ) -> List[object]:
+        """Run every item's ``fn(arg)`` across the pool's workers.
+
+        Returns results aligned with *items*.  A worker that dies
+        mid-task (OOM kill, crash fault) is detected by liveness
+        polling and respawned; a worker that exceeds *timeout_s* on one
+        item is presumed hung, stopped with terminate→kill escalation,
+        and respawned.  The failed item is retried (on a warm sibling
+        or the respawned worker) up to *max_retries* times before
+        :class:`~repro.parallel.executor.ShardExecutionError` names it.
+        """
+        from repro.parallel.executor import ShardExecutionError
+
+        if self._closed:
+            raise PoolError("pool is closed")
+        results: dict = {}
+        attempts = {index: 0 for index in range(len(items))}
+        pending = list(range(len(items)))
+        #: serial -> item index, for every dispatch made by this call.
+        serial_map: dict = {}
+        #: item index -> the serial currently authorised to resolve it.
+        active: dict = {}
+
+        def fail(index: int, cause: str) -> None:
+            attempts[index] += 1
+            if attempts[index] > max_retries:
+                raise ShardExecutionError(items[index][2], cause)
+            pending.append(index)
+
+        while len(results) < len(items):
+            # Hand pending work to idle workers.
+            for handle in self._handles:
+                if not pending:
+                    break
+                if handle.busy_serial is not None:
+                    continue
+                index = pending.pop(0)
+                serial = self._task_serial
+                self._task_serial += 1
+                serial_map[serial] = index
+                active[index] = serial
+                fn, arg, _label = items[index]
+                handle.task_q.put(("task", serial, fn, arg))
+                handle.busy_serial = serial
+                handle.deadline = (
+                    time.perf_counter() + timeout_s
+                    if timeout_s is not None else None
+                )
+
+            # Collect one result (or time out and run the checks).
+            try:
+                uid, serial, status, payload = self._result_q.get(
+                    timeout=_RESULT_POLL_S
+                )
+            except queue_mod.Empty:
+                pass
+            except Exception:
+                # A worker died mid-put and left a truncated pickle on
+                # the pipe; the liveness sweep below handles the death.
+                pass
+            else:
+                for handle in self._handles:
+                    if handle.uid == uid and handle.busy_serial == serial:
+                        handle.busy_serial = None
+                        handle.deadline = None
+                        break
+                index = serial_map.get(serial)
+                # Results from superseded serials (a worker we killed
+                # that managed to answer first) or from a previous
+                # run_items call are dropped: exactly one in-flight
+                # serial may resolve an item, so a retry can never race
+                # a zombie writer.
+                if (
+                    index is not None
+                    and active.get(index) == serial
+                    and index not in results
+                ):
+                    if status == "ok":
+                        results[index] = payload
+                        if tick is not None:
+                            tick()
+                    else:
+                        fail(index, payload)
+                continue
+
+            # Liveness: a dead worker forfeits its task.
+            for slot, handle in enumerate(self._handles):
+                if handle.process.is_alive():
+                    continue
+                serial = handle.busy_serial
+                exitcode = handle.process.exitcode
+                self._respawn(slot)
+                index = serial_map.get(serial)
+                if (
+                    index is not None
+                    and active.get(index) == serial
+                    and index not in results
+                ):
+                    fail(
+                        index,
+                        "worker process died (exitcode {})".format(exitcode),
+                    )
+
+            # Watchdog: a worker past its deadline is presumed hung.
+            if timeout_s is not None:
+                now = time.perf_counter()
+                for slot, handle in enumerate(self._handles):
+                    serial = handle.busy_serial
+                    if serial is None or handle.deadline is None:
+                        continue
+                    if now < handle.deadline:
+                        continue
+                    self._respawn(slot)
+                    index = serial_map.get(serial)
+                    if (
+                        index is not None
+                        and active.get(index) == serial
+                        and index not in results
+                    ):
+                        fail(
+                            index,
+                            "no result within {:.0f}s watchdog "
+                            "(worker hung?)".format(timeout_s),
+                        )
+
+        return [results[index] for index in range(len(items))]
+
+    # -- shutdown -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker; escalate to SIGKILL if needed."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            try:
+                handle.task_q.put(("stop",))
+            except Exception:
+                pass
+        deadline = time.monotonic() + self.grace_s
+        for handle in self._handles:
+            handle.process.join(max(0.0, deadline - time.monotonic()))
+        for handle in self._handles:
+            self._stop_process(handle.process)
+        for handle in self._handles:
+            try:
+                handle.task_q.close()
+                handle.task_q.cancel_join_thread()
+            except Exception:
+                pass
+        try:
+            self._result_q.close()
+            self._result_q.cancel_join_thread()
+        except Exception:
+            pass
+        self._release_shm()
+        self._handles = []
+
+    def __enter__(self) -> "WarmWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

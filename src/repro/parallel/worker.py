@@ -132,8 +132,18 @@ class ShardResult:
     measured_batches: int = 0
 
 
-def run_measurement_shard(task: ShardTask) -> ShardResult:
-    """Build a world and measure this shard's slice of the fleet."""
+def run_measurement_shard(
+    task: ShardTask, world_factory=None
+) -> ShardResult:
+    """Build a world and measure this shard's slice of the fleet.
+
+    *world_factory*, if given, supplies the world instead of
+    :func:`build_world` — the warm pool (:mod:`repro.parallel.pool`)
+    passes its build-once/restore-per-task cache here.  It is only
+    called when a world is actually needed (a cached ``.result`` blob
+    short-circuits without one), and the world it returns must be
+    indistinguishable from a fresh ``build_world(config, plan)``.
+    """
     config = task.config
     spec = task.spec
     role = "shard-{}".format(spec.shard_index)
@@ -153,7 +163,10 @@ def run_measurement_shard(task: ShardTask) -> ShardResult:
         )
     obs = Observability() if task.observe else None
     wall_start = time.perf_counter()
-    world = build_world(config, plan=task.plan)
+    if world_factory is not None:
+        world = world_factory()
+    else:
+        world = build_world(config, plan=task.plan)
     campaign = Campaign(
         world,
         atlas_probes_per_country=0,
@@ -230,15 +243,25 @@ def run_measurement_shard(task: ShardTask) -> ShardResult:
     return result
 
 
-def run_atlas_task(task: AtlasTask) -> List[AtlasRawSample]:
-    """Build a world and run only the RIPE Atlas supplement."""
+def run_atlas_task(
+    task: AtlasTask, world_factory=None
+) -> List[AtlasRawSample]:
+    """Build a world and run only the RIPE Atlas supplement.
+
+    *world_factory* follows the :func:`run_measurement_shard` contract:
+    the Atlas world is built from the same ``(config, plan)`` pair as
+    the shard worlds, so the pool's warm world serves here too.
+    """
     result_path = None
     if task.checkpoint_dir:
         result_path = os.path.join(task.checkpoint_dir, "atlas.result")
         cached = load_unit_result(result_path, task.fingerprint, "atlas")
         if cached is not None:
             return cached
-    world = build_world(task.config, plan=task.plan)
+    if world_factory is not None:
+        world = world_factory()
+    else:
+        world = build_world(task.config, plan=task.plan)
     campaign = Campaign(
         world,
         atlas_probes_per_country=task.probes_per_country,

@@ -304,6 +304,11 @@ class ServiceSupervisor:
         self.metrics = MetricsRegistry()
         #: Dataset accumulated across completed epochs (in memory).
         self._dataset: Optional[Dataset] = None
+        #: Warm worker pool shared by every epoch's campaign (created
+        #: lazily when ``config.workers > 1``, closed when the service
+        #: run ends) — epochs re-prime it instead of respawning
+        #: processes, so only the first epoch pays pool startup.
+        self._pool = None
         self._log = print
 
     # -- service manifest --------------------------------------------------
@@ -381,34 +386,42 @@ class ServiceSupervisor:
         journal = ServiceJournal(
             paths.journal_path(self.directory), self.fingerprint
         )
-        with journal, _shutdown_guard():
-            try:
-                return self._supervise(journal)
-            except GracefulShutdown as exc:
-                journal.append(
-                    "shutdown",
-                    {
-                        "signal": int(exc.signum),
-                        "epoch_in_flight": journal.next_epoch(),
-                    },
+        try:
+            with journal, _shutdown_guard():
+                return self._run_guarded(journal)
+        finally:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+
+    def _run_guarded(self, journal: ServiceJournal) -> int:
+        try:
+            return self._supervise(journal)
+        except GracefulShutdown as exc:
+            journal.append(
+                "shutdown",
+                {
+                    "signal": int(exc.signum),
+                    "epoch_in_flight": journal.next_epoch(),
+                },
+            )
+            self._write_service_manifest("interrupted")
+            self._log(
+                "service interrupted by signal {}; every committed "
+                "batch is safe — 'repro service resume' continues "
+                "at epoch {}".format(
+                    exc.signum, journal.next_epoch()
                 )
-                self._write_service_manifest("interrupted")
-                self._log(
-                    "service interrupted by signal {}; every committed "
-                    "batch is safe — 'repro service resume' continues "
-                    "at epoch {}".format(
-                        exc.signum, journal.next_epoch()
-                    )
-                )
-                return EXIT_INTERRUPTED
-            except QuarantinedCheckpointError as exc:
-                self._write_service_manifest("quarantined")
-                self._log("QUARANTINE: {}".format(exc))
-                return EXIT_QUARANTINE
-            except EpochFailedError as exc:
-                self._write_service_manifest("failed")
-                self._log("epoch failed permanently: {}".format(exc))
-                return EXIT_EPOCH_FAILED
+            )
+            return EXIT_INTERRUPTED
+        except QuarantinedCheckpointError as exc:
+            self._write_service_manifest("quarantined")
+            self._log("QUARANTINE: {}".format(exc))
+            return EXIT_QUARANTINE
+        except EpochFailedError as exc:
+            self._write_service_manifest("failed")
+            self._log("epoch failed permanently: {}".format(exc))
+            return EXIT_EPOCH_FAILED
 
     # -- the epoch loop ----------------------------------------------------
 
@@ -537,8 +550,25 @@ class ServiceSupervisor:
             run_index_offset=epoch * config.runs_per_epoch,
             client_seed_offset=epoch_client_seed_offset(epoch),
             name_prefix="e{}-".format(epoch),
+            pool=self._campaign_pool(),
         )
         return result.dataset
+
+    def _campaign_pool(self):
+        """The service-lifetime warm pool, or None for inline epochs.
+
+        One pool serves every epoch: each epoch's campaign re-primes it
+        with that epoch's config (worlds rebuild, processes persist),
+        so pool startup is paid once per service run instead of once
+        per epoch.
+        """
+        if self.config.workers <= 1:
+            return None
+        if self._pool is None:
+            from repro.parallel.pool import WarmWorkerPool
+
+            self._pool = WarmWorkerPool(self.config.workers)
+        return self._pool
 
     # -- checkpoint health -------------------------------------------------
 

@@ -7,6 +7,7 @@ the experiment definition, like ``batch_size``).
 """
 
 import os
+import signal
 import time
 
 import pytest
@@ -82,9 +83,14 @@ class TestWorkerParity:
             _small_config(), workers=1, **PARITY_KWARGS
         )
 
-    def test_workers_4_identical_dataset(self, serial_result):
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_pooled_workers_identical_dataset(self, serial_result, workers):
+        # force_pool: this fleet is below the break-even line, and the
+        # whole point is exercising the warm-pool path, not the inline
+        # fallback.
         parallel_result = run_parallel_campaign(
-            _small_config(), workers=4, **PARITY_KWARGS
+            _small_config(), workers=workers, force_pool=True,
+            **PARITY_KWARGS
         )
         assert (
             parallel_result.dataset.to_json()
@@ -148,15 +154,28 @@ class TestFaultedParity:
             faults=FaultPlan.chaos(seed=3),
         )
 
-    def test_workers_4_identical_dataset_with_faults(self):
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_pooled_workers_identical_under_faults_observed(self, workers):
+        # Chaos faults AND observability on — the hardest parity case:
+        # every injected fault, counter, histogram and trace must land
+        # identically whether shards ran inline or on the warm pool.
         serial = run_parallel_campaign(
-            self._faulted_config(), workers=1, **self.FAULTED_KWARGS
+            self._faulted_config(), workers=1, observe=True,
+            **self.FAULTED_KWARGS
         )
         parallel = run_parallel_campaign(
-            self._faulted_config(), workers=4, **self.FAULTED_KWARGS
+            self._faulted_config(), workers=workers, observe=True,
+            force_pool=True, **self.FAULTED_KWARGS
         )
         assert parallel.dataset.to_json() == serial.dataset.to_json()
         assert parallel.failures == serial.failures
+        assert (
+            parallel.metrics["counters"] == serial.metrics["counters"]
+        )
+        assert (
+            parallel.metrics["histograms"] == serial.metrics["histograms"]
+        )
+        assert parallel.traces.snapshot() == serial.traces.snapshot()
         # The chaos plan must actually have produced failures to make
         # the parity claim meaningful.
         assert any(not s.success for s in serial.dataset.doh)
@@ -181,6 +200,13 @@ def _die_once(sentinel_path):
 
 
 def _hang(_value):
+    time.sleep(60)
+
+
+def _hang_ignoring_sigterm(_value):
+    # The nastiest hang: SIGTERM bounces off, so only the pool's
+    # kill() escalation can end this worker.
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
     time.sleep(60)
 
 
@@ -220,6 +246,21 @@ class TestExecutorResilience:
             _execute_tasks(
                 items, workers=1, timeout_s=1.0, max_retries=0
             )
+
+    def test_sigterm_ignoring_worker_cannot_deadlock_shutdown(self):
+        # A worker that ignores SIGTERM must still be reaped: the pool
+        # escalates terminate() -> grace -> kill(), so the whole call
+        # (including pool shutdown) returns promptly instead of
+        # blocking forever on an unkillable child.
+        items = [(_hang_ignoring_sigterm, None, "immortal")]
+        start = time.monotonic()
+        with pytest.raises(ShardExecutionError, match="watchdog"):
+            _execute_tasks(
+                items, workers=1, timeout_s=1.0, max_retries=0
+            )
+        # Generous bound: 1s watchdog + two 2s grace periods + spawn
+        # slack.  A deadlocked shutdown would blow far past this.
+        assert time.monotonic() - start < 30.0
 
 
 class TestDeadlockDetection:
